@@ -1,0 +1,29 @@
+"""Benchmarks: regenerate Figures 2, 4, 5 (Alibaba-statistics CDFs)."""
+
+import numpy as np
+
+from repro.experiments.fig02_rps_cdf import run as run_fig02
+from repro.experiments.fig04_cpu_util import run as run_fig04
+from repro.experiments.fig05_rpc_count import run as run_fig05
+
+
+def test_fig02_rps_cdf(benchmark):
+    r = benchmark(run_fig02, n=100_000)
+    samples = r["samples"]
+    assert 450 < np.median(samples) < 550          # paper: ~500 RPS
+    assert 0.10 < (samples >= 1000).mean() < 0.25  # paper: ~20%
+    assert (r["cdf"][1:] >= r["cdf"][:-1]).all()   # a CDF is monotone
+
+
+def test_fig04_cpu_util_cdf(benchmark):
+    r = benchmark(run_fig04, n=100_000)
+    samples = r["samples"]
+    assert 0.12 < np.median(samples) < 0.16        # paper: ~14%
+    assert np.percentile(samples, 99) < 0.65       # paper: 99% < 60%
+
+
+def test_fig05_rpc_count_cdf(benchmark):
+    r = benchmark(run_fig05, n=100_000)
+    samples = r["samples"]
+    assert 3.5 <= np.median(samples) <= 5.0        # paper: ~4.2
+    assert 0.02 < (samples >= 16).mean() < 0.09    # paper: ~5%

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 3 (tail vs queue granularity)."""
+
+from repro.experiments.common import Settings
+from repro.experiments.fig03_queues import run
+
+
+def test_fig03_queue_granularity(benchmark):
+    results = benchmark.pedantic(
+        lambda: run(rps=50_000, compute_scale=15.0,
+                    queue_counts=(1024, 128, 1),
+                    settings=Settings(n_servers=1, duration_s=0.02)),
+        rounds=1, iterations=1)
+    best = results[(128, False)]["p99_us"]
+    # Shape: the U-curve — both extremes are worse than the wide plateau.
+    assert results[(1024, False)]["p99_us"] > 1.1 * best
+    assert results[(1, False)]["p99_us"] > 1.3 * best

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 6 (tail vs context-switch cost)."""
+
+from repro.experiments.common import Settings
+from repro.experiments.fig06_context_switch import run
+
+
+def test_fig06_context_switch_sweep(benchmark):
+    results = benchmark.pedantic(
+        lambda: run(loads=(50_000,), cs_cycles=(0, 256, 8192),
+                    settings=Settings(n_servers=1, duration_s=0.03)),
+        rounds=1, iterations=1)
+    base = results[(0, 50_000)]
+    # Shape: the hardware target (128-256 cycles) barely registers;
+    # Linux-class costs blow the tail up at 50K RPS.
+    assert results[(256, 50_000)] < 1.5 * base
+    assert results[(8192, 50_000)] > 5.0 * base

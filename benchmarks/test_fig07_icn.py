@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 7 (ICN contention impact)."""
+
+from repro.experiments.common import Settings
+from repro.experiments.fig07_icn_contention import run
+
+
+def test_fig07_icn_contention(benchmark):
+    results = benchmark.pedantic(
+        lambda: run(loads=(5000, 50_000),
+                    settings=Settings(n_servers=1, duration_s=0.03)),
+        rounds=1, iterations=1)
+    # Shape: contention is mild at 5K and severe at 50K for both fabrics.
+    assert results[("mesh", 50_000)] > 2.0
+    assert results[("fattree", 50_000)] > 2.0
+    assert results[("mesh", 5000)] < 2.0
+    assert results[("fattree", 5000)] < 2.0

@@ -1,0 +1,27 @@
+"""Benchmarks: regenerate Figure 8 (footprint sharing) and Figure 9
+(cache/TLB hit rates)."""
+
+from repro.experiments.fig08_footprint import run as run_fig08
+from repro.experiments.fig09_hit_rates import run as run_fig09
+
+
+def test_fig08_footprint_sharing(benchmark):
+    results = benchmark(run_fig08, n_handlers=10)
+    # Paper: 78-99% of the footprint is common, at page and line
+    # granularity, for data and instructions, in both comparisons.
+    for group in ("Handler-Handler", "Handler-Init"):
+        for bar, value in results[group].items():
+            assert 0.70 <= value <= 1.0, (group, bar, value)
+
+
+def test_fig09_hit_rates(benchmark):
+    results = benchmark.pedantic(lambda: run_fig09(n_accesses=60_000),
+                                 rounds=1, iterations=1)
+    # Paper: L1 structures above 95% (the handler working set fits);
+    # the L2 sees only the few L1 misses (the L1s act as filters), so no
+    # assertion is made on its rate at this trace scale (see
+    # EXPERIMENTS.md).
+    assert results["data"]["L1TLB"] > 0.95
+    assert results["data"]["L1Cache"] > 0.93
+    assert results["instructions"]["L1TLB"] > 0.95
+    assert results["instructions"]["L1Cache"] > 0.95

@@ -1,0 +1,27 @@
+"""Benchmarks: regenerate Figures 14/16/17 (the latency matrix) at
+reduced scale."""
+
+from repro.experiments.latency_matrix import reduction_vs, run
+
+
+def test_fig14_16_17_latency_matrix(benchmark, quick_settings):
+    apps = ("Text", "CPost", "UrlShort")
+    matrix = benchmark.pedantic(
+        lambda: run(loads=(5000, 15000), apps=apps,
+                    settings=quick_settings),
+        rounds=1, iterations=1)
+    # Figure 14 shape: uManycore cuts the tail vs both baselines, more at
+    # higher load.
+    sc_15 = reduction_vs(matrix, "p99_ns", "ServerClass", 15000, apps)
+    so_15 = reduction_vs(matrix, "p99_ns", "ScaleOut", 15000, apps)
+    assert sc_15 > 2.0
+    assert so_15 > 1.5
+    # Figure 16 shape: average latency improves too, by less than the tail
+    # at high load for the ServerClass comparison.
+    sc_avg_15 = reduction_vs(matrix, "mean_ns", "ServerClass", 15000, apps)
+    assert sc_avg_15 > 1.5
+    # Figure 17 shape: uManycore's tail-to-average ratio is the smallest.
+    for app in apps:
+        um = matrix[("uManycore", app, 15000)].summary.tail_to_average
+        sc = matrix[("ServerClass", app, 15000)].summary.tail_to_average
+        assert um < sc * 1.8

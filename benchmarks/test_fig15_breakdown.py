@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 15 (technique breakdown) at reduced scale."""
+
+from repro.experiments.fig15_breakdown import run
+from repro.experiments.common import geomean
+
+
+def test_fig15_breakdown(benchmark, quick_settings):
+    apps = ("Text", "CPost")
+    results = benchmark.pedantic(
+        lambda: run(rps=15_000, apps=apps, settings=quick_settings),
+        rounds=1, iterations=1)
+
+    def reduction(step):
+        return geomean([results[("ScaleOut", a)] / results[(step, a)]
+                        for a in apps])
+
+    # Shape: cumulative application of the techniques keeps reducing the
+    # tail, and the full stack is a significant win over ScaleOut.
+    full = reduction("+HW Context Switch")
+    assert full > 1.5
+    assert full >= reduction("+Villages") * 0.9

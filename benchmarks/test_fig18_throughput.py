@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 18 (max QoS throughput) at reduced scale."""
+
+from repro.experiments.common import Settings
+from repro.experiments.fig18_throughput import max_throughput
+from repro.systems.configs import SERVERCLASS, UMANYCORE
+from repro.workloads.deathstar import social_network_app
+
+
+def test_fig18_throughput(benchmark):
+    app = social_network_app("Text")
+    settings = Settings(n_servers=1, duration_s=0.01)
+
+    def run():
+        return {
+            cfg.name: max_throughput(cfg, app, settings, low=2000.0,
+                                     high=120_000.0, iterations=4)
+            for cfg in (UMANYCORE, SERVERCLASS)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Shape: uManycore sustains far more load within QoS than ServerClass.
+    assert results["uManycore"] > 3.0 * results["ServerClass"]

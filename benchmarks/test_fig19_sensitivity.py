@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 19 (topology sensitivity) at reduced scale."""
+
+from repro.experiments.fig19_sensitivity import SHAPES, run
+
+
+def test_fig19_sensitivity(benchmark, quick_settings):
+    apps = ("HomeT", "UrlShort")
+    results = benchmark.pedantic(
+        lambda: run(rps=15_000, apps=apps, settings=quick_settings),
+        rounds=1, iterations=1)
+    # Shape: all configurations are in the same ballpark (paper: ~15%;
+    # allow 2x at this reduced scale), and the variants behave
+    # differently per app style.
+    for app in apps:
+        base = results[(SHAPES[0], app)]
+        for shape in SHAPES:
+            assert results[(shape, app)] < 2.5 * base

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 20 (synthetic distributions) at reduced
+scale."""
+
+from repro.experiments.common import Settings
+from repro.experiments.fig20_synthetic import run
+
+
+def test_fig20_synthetic(benchmark):
+    results = benchmark.pedantic(
+        lambda: run(loads=(15000,),
+                    settings=Settings(n_servers=1, duration_s=0.012)),
+        rounds=1, iterations=1)
+    # Shape: uManycore has the lowest tail for every service-time
+    # distribution.
+    for dist in ("exponential", "lognormal", "bimodal"):
+        um = results[("uManycore", dist, 15000)]
+        assert results[("ServerClass", dist, 15000)] > um
+        assert results[("ScaleOut", dist, 15000)] > 0.8 * um

@@ -1,0 +1,26 @@
+"""Benchmarks: Section 6.8 iso-area comparison and the Section 5
+power/area table."""
+
+from repro.experiments.common import Settings, geomean
+from repro.experiments.power_area import run as run_power
+from repro.experiments.sec68_iso_area import run as run_iso
+
+
+def test_sec68_iso_area(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_iso(apps=("Text",), loads=(15000,),
+                        settings=Settings(n_servers=1, duration_s=0.02)),
+        rounds=1, iterations=1)
+    ratio = results[("ServerClass-128", "Text", 15000)] / \
+        results[("uManycore", "Text", 15000)]
+    # Shape: even at iso-area, ServerClass trails uManycore on the tail.
+    assert ratio > 1.2
+
+
+def test_power_area_table(benchmark):
+    results = benchmark(run_power)
+    assert results["iso"]["iso_power_cores"] == 40
+    assert 0.35 < results["uManycore"]["per_core_w"] < 0.50
+    assert 9.0 < results["ServerClass"]["per_core_w"] < 11.5
+    assert results["ServerClass-128"]["power_w"] > \
+        2.5 * results["uManycore"]["power_w"]

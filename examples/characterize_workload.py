@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Reproduce the Section 3 characterization on your own machine.
+
+Walks through the paper's pre-design analysis: the Alibaba-statistics
+workload shape (Figures 2/4/5), handler footprint sharing (Figure 8) and
+cache fit (Figure 9) — the evidence that motivated villages, hardware
+queues and hardware context switching.
+
+Run:  python examples/characterize_workload.py
+"""
+
+import numpy as np
+
+from repro.cpu.hierarchy import UMANYCORE_HIERARCHY, CacheHierarchy
+from repro.cpu.traces import MICRO_PROFILES, data_address_trace
+from repro.mem.footprint import FootprintModel, sharing
+from repro.workloads.alibaba import AlibabaTraceGenerator
+
+
+def workload_shape() -> None:
+    gen = AlibabaTraceGenerator(np.random.default_rng(0))
+    s = gen.summary(n=100_000)
+    print("workload shape (Alibaba-trace statistics):")
+    print(f"  median server load:      {s['rps_median']:6.0f} RPS "
+          f"(bursts: {s['rps_frac_ge_1500']:.0%} of seconds over 1500)")
+    print(f"  median CPU utilization:  {s['util_median']:6.1%} per request")
+    print(f"  median RPCs per request: {s['rpc_median']:6.1f}")
+    print(f"  requests under 1 ms:     {s['dur_frac_lt_1ms']:6.1%}")
+    print("  -> requests are short, bursty, and mostly *blocked*.\n")
+
+
+def footprint_sharing() -> None:
+    model = FootprintModel(np.random.default_rng(1))
+    a, b = model.handler_footprint(), model.handler_footprint()
+    rep = sharing(a, b)
+    print("footprint sharing between two handlers of one instance:")
+    for k, v in rep.as_dict().items():
+        print(f"  {k}: {v:.0%} common")
+    print("  -> read-mostly state is shared; a per-cluster memory pool "
+          "serves it.\n")
+
+
+def cache_fit() -> None:
+    rng = np.random.default_rng(2)
+    h = CacheHierarchy(UMANYCORE_HIERARCHY)
+    addrs = data_address_trace(MICRO_PROFILES[0], 60_000, rng)
+    for a in addrs:                       # warm-up
+        h.access_data(int(a))
+    for c in (h.l1d, h.l2, h.dtlb):
+        c.reset_stats()
+    for a in addrs:
+        h.access_data(int(a))
+    rates = h.hit_rates()
+    print("cache fit of a handler working set (uManycore hierarchy):")
+    print(f"  L1D hit rate:   {rates['L1D']:.1%}")
+    print(f"  L1 DTLB:        {rates['L1DTLB']:.1%}")
+    print(f"  shared L2:      {rates['L2']:.1%} (L1-filtered)")
+    print("  -> two cache levels suffice; spend the area on cores.")
+
+
+if __name__ == "__main__":
+    workload_shape()
+    footprint_sharing()
+    cache_fit()

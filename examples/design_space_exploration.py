@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Explore uManycore design points: village size and context-switch cost.
+
+Uses the config system to answer two what-if questions the paper raises:
+
+1. How does village size (cores per hardware queue) affect tail latency
+   for a call-heavy vs a call-free service?  (Figure 19's observation.)
+2. How expensive could the hardware context switch get before it starts
+   hurting?  (Figure 6's 128-256-cycle design target.)
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import dataclasses
+
+from repro.systems import UMANYCORE, simulate, umanycore_variant
+from repro.workloads import SOCIAL_NETWORK_APPS
+
+
+def village_size_study() -> None:
+    print("1) village size vs app style (P99 us at 15K RPS)\n")
+    shapes = ((8, 4, 32), (32, 1, 32))
+    print(f"{'app':>10s}" + "".join(f"{'x'.join(map(str, s)):>12s}"
+                                    for s in shapes))
+    for app_name in ("HomeT", "UrlShort"):
+        app = SOCIAL_NETWORK_APPS[app_name]
+        row = f"{app_name:>10s}"
+        for shape in shapes:
+            r = simulate(umanycore_variant(*shape), app,
+                         rps_per_server=15_000, n_servers=1,
+                         duration_s=0.02, seed=2)
+            row += f"{r.p99_ns/1e3:12.0f}"
+        print(row)
+    print("\ncall-heavy services (HomeT) like many small villages; "
+          "call-free ones (UrlShort) tolerate big villages.\n")
+
+
+def context_switch_budget() -> None:
+    print("2) hardware context-switch budget (P99 us at 15K RPS, Text)\n")
+    app = SOCIAL_NETWORK_APPS["Text"]
+    print(f"{'CS cycles':>10s} {'P99 (us)':>10s}")
+    for cycles in (64, 128, 256, 1024, 4096):
+        cfg = dataclasses.replace(
+            UMANYCORE, name=f"uM-cs{cycles}",
+            cs=UMANYCORE.cs.scaled(cycles))
+        r = simulate(cfg, app, rps_per_server=15_000, n_servers=1,
+                     duration_s=0.02, seed=2)
+        print(f"{cycles:10d} {r.p99_ns/1e3:10.0f}")
+    print("\nanything in the 128-256-cycle range is safely flat "
+          "(the paper's hardware target).")
+
+
+if __name__ == "__main__":
+    village_size_study()
+    context_switch_budget()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Summarize the full evaluation matrix at quick scale.
+
+Runs the Figures 14-20 / Section 6.8 pipelines at a reduced scale and
+prints the geomean reduction factors the paper headlines — a compact way
+to sanity-check the whole evaluation in one go.
+
+Run:  python examples/matrix_summary.py   (takes several minutes)
+"""
+import time
+from repro.experiments.common import Settings, geomean
+from repro.experiments.latency_matrix import run, reduction_vs
+from repro.experiments import fig15_breakdown, fig18_throughput, \
+    fig19_sensitivity, fig20_synthetic, sec68_iso_area
+
+S = Settings(n_servers=1, duration_s=0.025)
+APPS = ("Text", "SGraph", "HomeT", "CPost", "UrlShort")
+t0 = time.time()
+matrix = run(loads=(5000, 10000, 15000), apps=APPS, settings=S)
+print("== MATRIX ==")
+for load in (5000, 10000, 15000):
+    sc_t = reduction_vs(matrix, "p99_ns", "ServerClass", load, APPS)
+    so_t = reduction_vs(matrix, "p99_ns", "ScaleOut", load, APPS)
+    sc_a = reduction_vs(matrix, "mean_ns", "ServerClass", load, APPS)
+    so_a = reduction_vs(matrix, "mean_ns", "ScaleOut", load, APPS)
+    print(f"load={load} tail SC={sc_t:.1f} SO={so_t:.1f} avg SC={sc_a:.1f} SO={so_a:.1f}")
+import numpy as np
+for sys_ in ("uManycore", "ScaleOut", "ServerClass"):
+    vals = [matrix[(sys_, a, l)].summary.tail_to_average
+            for a in APPS for l in (5000, 10000, 15000)]
+    print(f"t2a {sys_}: {float(np.mean(vals)):.2f}")
+print("matrix wall", round(time.time()-t0))
+
+print("== FIG15 ==")
+r15 = fig15_breakdown.run(rps=15000, apps=("Text", "SGraph", "CPost", "UrlShort"), settings=S)
+from repro.systems.configs import ablation_ladder
+for step in [c.name for c in ablation_ladder()]:
+    red = geomean([r15[("ScaleOut", a)] / r15[(step, a)]
+                   for a in ("Text", "SGraph", "CPost", "UrlShort")])
+    print(f"{step}: {red:.2f}x")
+
+print("== FIG19 ==")
+r19 = fig19_sensitivity.run(rps=15000, apps=("HomeT", "UrlShort", "Text"), settings=S)
+from repro.experiments.fig19_sensitivity import SHAPES
+for app in ("HomeT", "UrlShort", "Text"):
+    base = r19[(SHAPES[0], app)]
+    print(app, " ".join(f"{r19[(s, app)]/base:.2f}" for s in SHAPES))
+
+print("== FIG20 ==")
+r20 = fig20_synthetic.run(loads=(5000, 15000), settings=S)
+sc, so = [], []
+for d in ("exponential", "lognormal", "bimodal"):
+    for l in (5000, 15000):
+        sc.append(r20[("ServerClass", d, l)] / r20[("uManycore", d, l)])
+        so.append(r20[("ScaleOut", d, l)] / r20[("uManycore", d, l)])
+print(f"avg tail reduction: SC={geomean(sc):.1f}x SO={geomean(so):.1f}x")
+
+print("== SEC68 ==")
+r68 = sec68_iso_area.run(apps=("Text", "CPost"), loads=(5000, 15000), settings=S)
+ratios = [r68[("ServerClass-128", a, l)] / r68[("uManycore", a, l)]
+          for a in ("Text", "CPost") for l in (5000, 15000)]
+print(f"SC128/uM tail avg: {geomean(ratios):.1f}x")
+
+print("== FIG18 ==")
+r18 = fig18_throughput.run(apps=("Text", "UrlShort"),
+                           settings=Settings(n_servers=1, duration_s=0.015))
+for a in ("Text", "UrlShort"):
+    um = r18[("uManycore", a)]
+    print(f"{a}: uM={um/1000:.0f}K vsSC={um/r18[('ServerClass', a)]:.1f}x "
+          f"vsSO={um/r18[('ScaleOut', a)]:.1f}x")
+print("total wall", round(time.time()-t0))

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one SocialNetwork app on all three architectures.
+
+Builds a small cluster (2 servers) for each of uManycore, ScaleOut and
+ServerClass, drives the Text request type at 15K RPS per server, and
+prints mean/P99 latency — the paper's headline comparison in miniature.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.systems import SCALEOUT, SERVERCLASS, UMANYCORE, simulate
+from repro.workloads import SOCIAL_NETWORK_APPS
+
+
+def main() -> None:
+    app = SOCIAL_NETWORK_APPS["Text"]
+    print(f"app: {app.name} (root service {app.root!r}, "
+          f"{app.mean_rpc_count():.1f} RPCs per request)\n")
+    results = {}
+    for config in (UMANYCORE, SCALEOUT, SERVERCLASS):
+        result = simulate(config, app, rps_per_server=15_000,
+                          n_servers=2, duration_s=0.03, seed=1)
+        results[config.name] = result
+        s = result.summary
+        print(f"{config.name:12s}  mean = {s.mean/1e3:8.1f} us   "
+              f"P99 = {s.p99/1e3:9.1f} us   "
+              f"({result.completed} requests)")
+
+    um = results["uManycore"].summary
+    print("\ntail-latency reduction with uManycore:")
+    for name in ("ScaleOut", "ServerClass"):
+        print(f"  vs {name}: {results[name].summary.p99 / um.p99:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

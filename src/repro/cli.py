@@ -1,0 +1,127 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro simulate --system umanycore --app Text --rps 15000
+    python -m repro experiment fig14
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.systems.configs import SCALEOUT, SERVERCLASS, SERVERCLASS_128, \
+    UMANYCORE
+from repro.workloads.deathstar import SOCIAL_NETWORK_APPS
+from repro.workloads.synthetic import SYNTHETIC_DISTRIBUTIONS, synthetic_app
+
+SYSTEMS = {
+    "umanycore": UMANYCORE,
+    "scaleout": SCALEOUT,
+    "serverclass": SERVERCLASS,
+    "serverclass128": SERVERCLASS_128,
+}
+
+EXPERIMENTS = [
+    "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
+    "fig09", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+    "sec68", "power", "all",
+]
+
+
+def _resolve_app(name: str):
+    if name in SOCIAL_NETWORK_APPS:
+        return SOCIAL_NETWORK_APPS[name]
+    if name in SYNTHETIC_DISTRIBUTIONS:
+        return synthetic_app(name)
+    raise SystemExit(f"unknown app {name!r}; pick one of "
+                     f"{sorted(SOCIAL_NETWORK_APPS)} or "
+                     f"{list(SYNTHETIC_DISTRIBUTIONS)}")
+
+
+def cmd_simulate(args) -> None:
+    from repro.systems.cluster import simulate
+
+    config = SYSTEMS[args.system]
+    app = _resolve_app(args.app)
+    result = simulate(config, app, rps_per_server=args.rps,
+                      n_servers=args.servers, duration_s=args.duration,
+                      seed=args.seed, arrivals=args.arrivals)
+    s = result.summary
+    print(f"system     : {config.name}")
+    print(f"app        : {app.name}")
+    print(f"load       : {args.rps:.0f} RPS/server x {args.servers} servers")
+    print(f"completed  : {result.completed} (rejected {result.rejected})")
+    print(f"mean       : {s.mean / 1e3:.1f} us")
+    print(f"P50 / P99  : {s.p50 / 1e3:.1f} / {s.p99 / 1e3:.1f} us")
+    print(f"tail/avg   : {s.tail_to_average:.2f}")
+
+
+def cmd_experiment(args) -> None:
+    import importlib
+
+    mapping = {
+        "fig01": "fig01_microarch", "fig02": "fig02_rps_cdf",
+        "fig03": "fig03_queues", "fig04": "fig04_cpu_util",
+        "fig05": "fig05_rpc_count", "fig06": "fig06_context_switch",
+        "fig07": "fig07_icn_contention", "fig08": "fig08_footprint",
+        "fig09": "fig09_hit_rates", "fig14": "fig14_tail_latency",
+        "fig15": "fig15_breakdown", "fig16": "fig16_avg_latency",
+        "fig17": "fig17_tail_to_avg", "fig18": "fig18_throughput",
+        "fig19": "fig19_sensitivity", "fig20": "fig20_synthetic",
+        "sec68": "sec68_iso_area", "power": "power_area",
+        "all": "run_all",
+    }
+    module = importlib.import_module(f"repro.experiments.{mapping[args.id]}")
+    module.main()
+
+
+def cmd_list(args) -> None:
+    print("systems:")
+    for key, cfg in SYSTEMS.items():
+        print(f"  {key:15s} {cfg.n_cores} cores, {cfg.topology}, "
+              f"{cfg.cs.name} scheduling")
+    print("\napps:")
+    for name, app in SOCIAL_NETWORK_APPS.items():
+        print(f"  {name:10s} root={app.root}, "
+              f"{app.mean_rpc_count():.0f} RPCs/request")
+    print(f"  + synthetic: {', '.join(SYNTHETIC_DISTRIBUTIONS)}")
+    print("\nexperiments:", ", ".join(EXPERIMENTS))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="uManycore reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one cluster simulation")
+    sim.add_argument("--system", choices=sorted(SYSTEMS), required=True)
+    sim.add_argument("--app", default="Text")
+    sim.add_argument("--rps", type=float, default=15_000)
+    sim.add_argument("--servers", type=int, default=2)
+    sim.add_argument("--duration", type=float, default=0.03,
+                     help="simulated seconds")
+    sim.add_argument("--seed", type=int, default=1)
+    sim.add_argument("--arrivals", choices=("poisson", "bursty"),
+                     default="poisson")
+    sim.set_defaults(func=cmd_simulate)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper figure")
+    exp.add_argument("id", choices=EXPERIMENTS)
+    exp.set_defaults(func=cmd_experiment)
+
+    lst = sub.add_parser("list", help="list systems, apps, experiments")
+    lst.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

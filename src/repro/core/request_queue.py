@@ -1,0 +1,166 @@
+"""Hardware Request Queue (Section 4.3, Figure 13).
+
+A circular buffer with head/tail pointers.  Entries hold a status, a
+service id, and a pointer into the Request Context Memory (here: the
+:class:`~repro.core.request.RequestRecord` itself).
+
+Semantics implemented faithfully:
+
+* ``enqueue`` appends at the tail; fails when the buffer is full.
+* ``dequeue(service)`` atomically returns the READY entry *closest to the
+  head* whose service matches (FCFS), marking it running.
+* ``complete`` marks an entry finished and, when it is at the head,
+  advances the head past consecutive finished entries.  Finished entries
+  not at the head keep occupying their slot until the head passes them —
+  exactly what a hardware circular buffer does.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from repro.core.request import RequestRecord, RequestStatus
+
+
+class RequestQueue:
+    """Circular buffer of request entries with FCFS dequeue."""
+
+    def __init__(self, capacity: int = 64, name: str = "",
+                 policy: Optional[object] = None):
+        from repro.sched.policies import FCFS_POLICY
+
+        if capacity < 1:
+            raise ValueError("RQ capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self.policy = policy or FCFS_POLICY
+        self._slots: List[Optional[RequestRecord]] = [None] * capacity
+        self._head = 0
+        self._size = 0
+        self.enqueued = 0
+        self.rejected = 0
+        self.peak_occupancy = 0
+        self.soft_entries = 0      # NIC-buffered entries (no slot held)
+        # FCFS index: min-heap of (enqueue sequence, record) with lazy
+        # invalidation, so dequeue does not scan long blocked queues.
+        self._ready_heap: List = []
+
+    @property
+    def occupancy(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        return self._size >= self.capacity
+
+    def enqueue(self, rec: RequestRecord) -> bool:
+        """Append at the tail; False (and count a rejection) when full."""
+        if self.is_full:
+            self.rejected += 1
+            return False
+        tail = (self._head + self._size) % self.capacity
+        self._slots[tail] = rec
+        self._size += 1
+        self.enqueued += 1
+        if self._size > self.peak_occupancy:
+            self.peak_occupancy = self._size
+        rec.status = RequestStatus.READY
+        rec._rq_seq = self.enqueued
+        rec._rq_soft = False
+        heapq.heappush(self._ready_heap,
+                       (self.policy.key(rec), rec.req_id, rec))
+        return True
+
+    def soft_enqueue(self, rec: RequestRecord) -> None:
+        """Admit an entry without occupying a circular-buffer slot.
+
+        Models the NIC-side buffering of Section 4.3 for *internal*
+        (nested-call) requests: a child RPC cannot be dropped, and letting
+        it wait only in the NIC while every RQ slot is held by a blocked
+        parent would deadlock the call tree.  Soft entries are scheduled
+        exactly like slot entries but skip the head/tail bookkeeping.
+        """
+        self.enqueued += 1
+        self.soft_entries += 1
+        rec.status = RequestStatus.READY
+        rec._rq_seq = self.enqueued
+        rec._rq_soft = True
+        heapq.heappush(self._ready_heap,
+                       (self.policy.key(rec), rec.req_id, rec))
+
+    def dequeue(self, service: Optional[str] = None) -> Optional[RequestRecord]:
+        """Highest-priority READY entry matching ``service`` (None = any)."""
+        if service is None:
+            while self._ready_heap:
+                __, __id, rec = self._ready_heap[0]
+                if rec.status is not RequestStatus.READY:
+                    heapq.heappop(self._ready_heap)   # stale entry
+                    continue
+                heapq.heappop(self._ready_heap)
+                rec.status = RequestStatus.RUNNING
+                return rec
+            return None
+        # Service-filtered dequeue (co-located services): linear scan in
+        # FCFS order.
+        for offset in range(self._size):
+            rec = self._slots[(self._head + offset) % self.capacity]
+            if rec is None or rec.status is not RequestStatus.READY:
+                continue
+            if rec.service != service:
+                continue
+            rec.status = RequestStatus.RUNNING
+            return rec
+        return None
+
+    def has_ready(self, service: Optional[str] = None) -> bool:
+        """The per-core Work flag: is there anything to dequeue?"""
+        if service is None:
+            while self._ready_heap:
+                if self._ready_heap[0][2].status is RequestStatus.READY:
+                    return True
+                heapq.heappop(self._ready_heap)
+            return False
+        for offset in range(self._size):
+            rec = self._slots[(self._head + offset) % self.capacity]
+            if rec is not None and rec.status is RequestStatus.READY \
+                    and (service is None or rec.service == service):
+                return True
+        return False
+
+    def mark_blocked(self, rec: RequestRecord) -> None:
+        rec.status = RequestStatus.BLOCKED
+
+    def mark_ready(self, rec: RequestRecord) -> None:
+        if rec.status is not RequestStatus.BLOCKED:
+            raise RuntimeError(
+                f"request {rec.req_id} not blocked ({rec.status})")
+        rec.status = RequestStatus.READY
+        # Re-index: FCFS keeps the original arrival position; SRPT re-keys
+        # by the (now smaller) remaining work.
+        heapq.heappush(self._ready_heap,
+                       (self.policy.key(rec), rec.req_id, rec))
+
+    def complete(self, rec: RequestRecord) -> None:
+        """Mark finished; advance the head past finished entries."""
+        rec.status = RequestStatus.FINISHED
+        if getattr(rec, "_rq_soft", False):
+            self.soft_entries -= 1
+            return
+        while self._size > 0:
+            head_rec = self._slots[self._head]
+            if head_rec is None or head_rec.status is RequestStatus.FINISHED:
+                self._slots[self._head] = None
+                self._head = (self._head + 1) % self.capacity
+                self._size -= 1
+            else:
+                break
+
+    def entries(self) -> List[RequestRecord]:
+        """Live entries from head to tail (diagnostics)."""
+        out = []
+        for offset in range(self._size):
+            rec = self._slots[(self._head + offset) % self.capacity]
+            if rec is not None:
+                out.append(rec)
+        return out

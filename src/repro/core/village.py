@@ -1,0 +1,208 @@
+"""Village execution engine (Section 4.1): cores + shared L2 + RQ.
+
+A village is the hardware cache-coherent unit: a handful of cores that
+pull service requests from the village Request Queue.  The same class
+also models the *queue domains* of the baselines (a 32-core ScaleOut
+cluster sharing one software queue, or the whole 40-core ServerClass
+processor) — the differences are the scheduler domain (hardware vs
+software costs) and the domain size.
+
+The village delegates workload semantics to an *executor* object
+(implemented by :mod:`repro.systems.server`), which provides::
+
+    segment_time_ns(rec, core) -> float   # compute time of current segment
+    segment_done(rec, village, core)      # decide: block on a call / finish
+
+and drives the village back through :meth:`block_for_call`,
+:meth:`finish` and :meth:`make_ready`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.context_switch import SchedulerDomain
+from repro.core.request import RequestRecord, RequestStatus
+from repro.core.request_queue import RequestQueue
+
+
+@dataclass
+class Core:
+    """One core of a village."""
+
+    core_id: int
+    village_id: int
+    service: Optional[str] = None       # partitioned-service assignment
+    busy: bool = False
+    requests_run: int = 0
+    busy_ns: float = 0.0
+
+
+class Village:
+    """A cache-coherent domain of cores sharing one request queue."""
+
+    def __init__(self, engine, village_id: int, n_cores: int,
+                 scheduler: SchedulerDomain, executor,
+                 rq_capacity: int = 64,
+                 steal_from: Optional[List["Village"]] = None,
+                 steal_overhead_ns: float = 0.0,
+                 rq_policy: Optional[object] = None,
+                 rq: Optional[object] = None,
+                 core_borrowing: bool = False,
+                 name: str = ""):
+        if n_cores < 1:
+            raise ValueError("a village needs at least one core")
+        self.engine = engine
+        self.village_id = village_id
+        self.scheduler = scheduler
+        self.executor = executor
+        self.name = name or f"village{village_id}"
+        # ``rq`` lets callers install a PartitionedRequestQueue (the
+        # Section 4.3 RQ_Map design) instead of the default shared RQ.
+        self.rq = rq if rq is not None else RequestQueue(
+            rq_capacity, name=f"{self.name}.rq", policy=rq_policy)
+        #: Section 8: a co-located instance may temporarily borrow cores
+        #: assigned to another instance when its own queue backs up.
+        self.core_borrowing = core_borrowing
+        self.cores = [Core(core_id=i, village_id=village_id)
+                      for i in range(n_cores)]
+        self.steal_from = steal_from or []
+        #: Villages that may steal from this one; notified when work backs
+        #: up here so their idle cores can come and take it.
+        self.stealers: List["Village"] = []
+        self.steal_overhead_ns = steal_overhead_ns
+        self.completed = 0
+        self.steals = 0
+
+    # ------------------------------------------------------------ ingress
+
+    def submit(self, rec: RequestRecord) -> bool:
+        """Enqueue an arriving request; False when the RQ is full."""
+        if not self.rq.enqueue(rec):
+            return False
+        rec.village = self.village_id
+        rec._owner_village = self           # home RQ for later transitions
+        rec._enqueue_ns = self.engine.now
+        self._kick()
+        if self.stealers and self.rq.has_ready():
+            for stealer in self.stealers:
+                stealer._kick()
+                if not self.rq.has_ready():
+                    break
+        return True
+
+    def submit_soft(self, rec: RequestRecord) -> None:
+        """Admit an internal request via NIC buffering (no RQ slot)."""
+        self.rq.soft_enqueue(rec)
+        rec.village = self.village_id
+        rec._owner_village = self
+        rec._enqueue_ns = self.engine.now
+        self._kick()
+
+    def make_ready(self, rec: RequestRecord) -> None:
+        """An RPC response arrived: entry goes blocked -> ready (wakeup)."""
+        owner = getattr(rec, "_owner_village", self)
+
+        def ready():
+            owner.rq.mark_ready(rec)
+            self._kick()
+
+        self.scheduler.scheduler_op(ready)
+
+    # ----------------------------------------------------------- dispatch
+
+    def _kick(self) -> None:
+        for core in self.cores:
+            if not core.busy:
+                dispatched = self._try_dispatch(core)
+                # An unpartitioned core failing to dequeue means the RQ
+                # has no ready work for anyone — stop scanning cores.
+                if not dispatched and core.service is None:
+                    break
+
+    def _try_dispatch(self, core: Core) -> bool:
+        if core.busy:
+            return False
+        rec = self.rq.dequeue(core.service)
+        if rec is None and core.service is not None and self.core_borrowing:
+            # The core's own service is idle: serve a co-located one.
+            rec = self.rq.dequeue(None)
+        if rec is None and self.steal_from:
+            for other in self.steal_from:
+                rec = other.rq.dequeue(core.service)
+                if rec is not None:
+                    self.steals += 1
+                    break
+        if rec is None:
+            return False
+        core.busy = True
+        core.requests_run += 1
+        if not hasattr(rec, "_first_dispatch_ns"):
+            rec._first_dispatch_ns = self.engine.now
+            rec.queue_wait_ns = self.engine.now - getattr(
+                rec, "_enqueue_ns", self.engine.now)
+        stolen = rec.village != self.village_id
+
+        def start():
+            if rec.has_run:
+                self.scheduler.charge_restore(lambda: self._execute(core, rec))
+            else:
+                self._execute(core, rec)
+
+        extra = self.steal_overhead_ns if stolen else 0.0
+        if extra > 0:
+            self.scheduler.scheduler_op(
+                lambda: self.engine.schedule(extra, start))
+        else:
+            self.scheduler.scheduler_op(start)
+        return True
+
+    def _execute(self, core: Core, rec: RequestRecord) -> None:
+        duration = self.executor.segment_time_ns(rec, core)
+        rec.last_core = (self.village_id, core.core_id)
+        rec.has_run = True
+        core.busy_ns += duration
+        self.engine.schedule(duration, self._segment_finished, core, rec)
+
+    def _segment_finished(self, core: Core, rec: RequestRecord) -> None:
+        self.executor.segment_done(rec, self, core)
+
+    # ----------------------------------------- executor-driven transitions
+
+    def block_for_call(self, rec: RequestRecord, core: Core) -> None:
+        """The request issued a blocking RPC: save state, free the core."""
+        owner = getattr(rec, "_owner_village", self)
+        owner.rq.mark_blocked(rec)
+
+        def saved():
+            core.busy = False
+            self._try_dispatch(core)
+
+        self.scheduler.charge_save(saved)
+
+    def finish(self, rec: RequestRecord, core: Core) -> None:
+        """The request completed: Complete instruction, free the core."""
+        owner = getattr(rec, "_owner_village", self)
+        owner.rq.complete(rec)
+        rec.finish_ns = self.engine.now
+        self.completed += 1
+
+        def done():
+            core.busy = False
+            rec.on_complete(rec)
+            self._try_dispatch(core)
+
+        self.scheduler.scheduler_op(done)
+
+    # ------------------------------------------------------------- stats
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    def utilization(self, elapsed_ns: Optional[float] = None) -> float:
+        elapsed = elapsed_ns if elapsed_ns is not None else self.engine.now
+        if elapsed <= 0:
+            return 0.0
+        return sum(c.busy_ns for c in self.cores) / (elapsed * self.n_cores)

@@ -1,0 +1,27 @@
+"""CPU substrate: cores, caches, TLBs, coherence, and microarch models."""
+
+from repro.cpu.cache import CacheStats, SetAssociativeCache
+from repro.cpu.core_model import (
+    SCALEOUT_CORE,
+    SERVERCLASS_CORE,
+    UMANYCORE_CORE,
+    CoreConfig,
+    CoreModel,
+    SegmentProfile,
+)
+from repro.cpu.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cpu.tlb import Tlb
+
+__all__ = [
+    "SetAssociativeCache",
+    "CacheStats",
+    "Tlb",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "CoreConfig",
+    "CoreModel",
+    "SegmentProfile",
+    "UMANYCORE_CORE",
+    "SCALEOUT_CORE",
+    "SERVERCLASS_CORE",
+]

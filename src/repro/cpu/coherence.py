@@ -1,0 +1,89 @@
+"""Cache-coherence domain model.
+
+The paper contrasts *monolithic* (package-wide) hardware coherence with
+small per-village domains.  At the granularity of the system simulation,
+domain size matters in three ways:
+
+1. **Directory distance** — an L2 miss consults the domain's directory.
+   In a village the directory is co-located with the shared L2 (a couple
+   of cycles); with package-wide coherence the home directory is, on
+   average, several ICN hops away.
+2. **Migration scope** — a blocked request may resume on any core of its
+   domain.  Inside a village the shared L2 keeps its working set warm; a
+   cross-village resume under global coherence pulls lines from remote
+   caches over the ICN.
+3. **Coherence traffic** — global coherence adds directory/invalidation
+   messages to the ICN, increasing contention (modelled as extra message
+   load by the system simulator).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoherenceConfig:
+    """Coherence domain parameters.
+
+    ``domain_cores`` is the number of cores sharing one hardware-coherent
+    domain.  ``hop_cycles`` is the per-hop ICN latency used to cost the
+    directory round trip.
+    """
+
+    domain_cores: int
+    total_cores: int
+    hop_cycles: float = 5.0
+    local_directory_cycles: float = 2.0
+
+    def __post_init__(self):
+        if self.domain_cores < 1 or self.domain_cores > self.total_cores:
+            raise ValueError("domain_cores must be in [1, total_cores]")
+
+
+class CoherenceModel:
+    """Latency and warmth effects of a coherence-domain size."""
+
+    def __init__(self, config: CoherenceConfig):
+        self.config = config
+
+    @property
+    def is_global(self) -> bool:
+        return self.config.domain_cores >= self.config.total_cores
+
+    def directory_roundtrip_cycles(self) -> float:
+        """Average cycles an L2 miss spends reaching the home directory.
+
+        A domain of N cores spans on the order of sqrt(N/8) network stops
+        (8-core villages are one stop); the directory round trip crosses
+        that distance twice.
+        """
+        c = self.config
+        if c.domain_cores <= 16:
+            return c.local_directory_cycles
+        stops = math.sqrt(c.domain_cores / 8.0)
+        return c.local_directory_cycles + 2.0 * stops * c.hop_cycles
+
+    def resume_warm_fraction(self, same_village: bool) -> float:
+        """Fraction of the working set still warm when a request resumes.
+
+        Resuming inside the same village hits the shared L2 (~0.85 warm);
+        a cross-village resume with global coherence can still pull lines
+        from remote caches but pays for each (~0.3 effective warmth);
+        without coherence between the cores the state is cold.
+        """
+        if same_village:
+            return 0.85
+        return 0.3 if self.is_global else 0.0
+
+    def coherence_message_factor(self) -> float:
+        """Multiplier on ICN message count from coherence traffic.
+
+        Grows slowly with domain size: a package-wide domain roughly
+        doubles background traffic relative to village-scale domains.
+        """
+        c = self.config
+        if c.domain_cores <= 16:
+            return 1.0
+        return 1.0 + min(1.0, math.log2(c.domain_cores / 16.0) / 6.0)

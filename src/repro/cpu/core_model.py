@@ -1,0 +1,97 @@
+"""Analytic core timing model (cycle-approximate CPI).
+
+The system simulations fold straight-line compute into
+``instructions x CPI_eff / f`` using this model; the CPI has a pipeline
+term limited by issue width and workload ILP, a control term from branch
+mispredictions, and a memory term from L1 misses served by L2/memory with
+ROB/MSHR-limited memory-level parallelism (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Microarchitectural parameters of one core (Table 2)."""
+
+    name: str
+    issue_width: int
+    rob_entries: int
+    lsq_entries: int
+    freq_ghz: float
+    mispredict_penalty: int = 14
+    mshrs: int = 20
+
+
+# Table 2: uManycore/ScaleOut use simple ARM A15-like cores; ServerClass is
+# an IceLake-like server core.
+UMANYCORE_CORE = CoreConfig("umanycore", issue_width=4, rob_entries=64,
+                            lsq_entries=64, freq_ghz=2.0)
+SCALEOUT_CORE = CoreConfig("scaleout", issue_width=4, rob_entries=64,
+                           lsq_entries=64, freq_ghz=2.0)
+SERVERCLASS_CORE = CoreConfig("serverclass", issue_width=6, rob_entries=352,
+                              lsq_entries=256, freq_ghz=3.0,
+                              mispredict_penalty=17)
+
+
+@dataclass(frozen=True)
+class SegmentProfile:
+    """Workload statistics for a compute segment.
+
+    ``ilp`` is the workload's inherent instruction-level parallelism;
+    ``l1_mpki`` L1 data misses per kilo-instruction; ``l2_miss_fraction``
+    the fraction of those that also miss L2; ``branch_misp_mpki`` branch
+    mispredictions per kilo-instruction.
+    """
+
+    ilp: float = 3.0
+    l1_mpki: float = 5.0
+    l2_miss_fraction: float = 0.2
+    branch_misp_mpki: float = 2.0
+
+
+class CoreModel:
+    """Computes effective CPI and segment durations for a core config."""
+
+    def __init__(self, config: CoreConfig):
+        self.config = config
+
+    def memory_level_parallelism(self) -> float:
+        """Outstanding-miss parallelism sustained by the ROB/MSHRs."""
+        c = self.config
+        return float(min(c.mshrs, max(1.0, c.rob_entries / 48.0)))
+
+    def effective_cpi(
+        self,
+        profile: SegmentProfile,
+        l2_latency: float = 24.0,
+        memory_latency: float = 200.0,
+    ) -> float:
+        c = self.config
+        pipeline = max(1.0 / c.issue_width, 1.0 / profile.ilp)
+        control = profile.branch_misp_mpki / 1000.0 * c.mispredict_penalty
+        mlp = self.memory_level_parallelism()
+        per_miss = l2_latency + profile.l2_miss_fraction * memory_latency / mlp
+        memory = profile.l1_mpki / 1000.0 * per_miss
+        return pipeline + control + memory
+
+    def segment_time_ns(
+        self,
+        instructions: float,
+        profile: SegmentProfile,
+        l2_latency: float = 24.0,
+        memory_latency: float = 200.0,
+    ) -> float:
+        """Nanoseconds to execute ``instructions`` with this profile."""
+        if instructions < 0:
+            raise ValueError("negative instruction count")
+        cpi = self.effective_cpi(profile, l2_latency, memory_latency)
+        return instructions * cpi / self.config.freq_ghz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles / self.config.freq_ghz
+
+    def ns_to_cycles(self, ns: float) -> float:
+        return ns * self.config.freq_ghz

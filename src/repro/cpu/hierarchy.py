@@ -1,0 +1,130 @@
+"""Functional multi-level cache/TLB hierarchy (Table 2 shapes).
+
+Drives Figure 9: replay synthetic handler traces through the hierarchy and
+report per-level hit rates for data and instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.tlb import Tlb
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Sizes/latencies of one core's view of the cache hierarchy.
+
+    Latencies are round-trip cycles as given in Table 2 of the paper.
+    """
+
+    name: str
+    l1_size: int = 64 * 1024
+    l1_assoc: int = 8
+    l1_latency: int = 2
+    l2_size: int = 256 * 1024
+    l2_assoc: int = 16
+    l2_latency: int = 24
+    l3_size: Optional[int] = None       # per-core slice; None = no L3
+    l3_assoc: int = 16
+    l3_latency: int = 40
+    line_size: int = 64
+    l1_tlb_entries: int = 128
+    l1_tlb_assoc: int = 4
+    l1_tlb_latency: int = 2
+    l2_tlb_entries: Optional[int] = None
+    l2_tlb_assoc: int = 12
+    l2_tlb_latency: int = 12
+    memory_latency: int = 200           # cycles to DRAM on full miss
+
+
+# Table 2 instances.
+UMANYCORE_HIERARCHY = HierarchyConfig(name="umanycore")
+SCALEOUT_HIERARCHY = HierarchyConfig(name="scaleout")
+SERVERCLASS_HIERARCHY = HierarchyConfig(
+    name="serverclass",
+    l2_size=2 * 1024 * 1024,
+    l2_latency=16,
+    l3_size=2 * 1024 * 1024,
+    l3_latency=40,
+    l1_tlb_entries=256,
+    l2_tlb_entries=2048,
+)
+
+
+class CacheHierarchy:
+    """One core's caches+TLBs; separate instruction and data L1s, shared L2+."""
+
+    def __init__(self, config: HierarchyConfig):
+        self.config = config
+        c = config
+        self.l1d = SetAssociativeCache(c.l1_size, c.l1_assoc, c.line_size, name="L1D")
+        self.l1i = SetAssociativeCache(c.l1_size, c.l1_assoc, c.line_size, name="L1I")
+        self.l2 = SetAssociativeCache(c.l2_size, c.l2_assoc, c.line_size, name="L2")
+        self.l3 = (
+            SetAssociativeCache(c.l3_size, c.l3_assoc, c.line_size, name="L3")
+            if c.l3_size
+            else None
+        )
+        self.dtlb = Tlb(c.l1_tlb_entries, c.l1_tlb_assoc, name="L1DTLB")
+        self.itlb = Tlb(c.l1_tlb_entries, c.l1_tlb_assoc, name="L1ITLB")
+        self.l2_dtlb = (
+            Tlb(c.l2_tlb_entries, c.l2_tlb_assoc, name="L2DTLB")
+            if c.l2_tlb_entries
+            else None
+        )
+        self.l2_itlb = (
+            Tlb(c.l2_tlb_entries, c.l2_tlb_assoc, name="L2ITLB")
+            if c.l2_tlb_entries
+            else None
+        )
+
+    def _access(self, l1: SetAssociativeCache, tlb_pair, addr: int) -> int:
+        """Walk one access through TLBs + cache levels; returns cycles."""
+        c = self.config
+        cycles = 0
+        l1_tlb, l2_tlb = tlb_pair
+        cycles += c.l1_tlb_latency
+        if not l1_tlb.access(addr):
+            if l2_tlb is not None:
+                cycles += c.l2_tlb_latency
+                if not l2_tlb.access(addr):
+                    cycles += c.memory_latency  # page-walk cost
+            else:
+                cycles += c.memory_latency
+        cycles += c.l1_latency
+        if l1.access(addr):
+            return cycles
+        cycles += c.l2_latency
+        if self.l2.access(addr):
+            return cycles
+        if self.l3 is not None:
+            cycles += c.l3_latency
+            if self.l3.access(addr):
+                return cycles
+        return cycles + c.memory_latency
+
+    def access_data(self, addr: int) -> int:
+        return self._access(self.l1d, (self.dtlb, self.l2_dtlb), addr)
+
+    def access_instr(self, addr: int) -> int:
+        return self._access(self.l1i, (self.itlb, self.l2_itlb), addr)
+
+    def hit_rates(self) -> dict:
+        """Per-structure hit rates (Figure 9 rows)."""
+        rates = {
+            "L1D": self.l1d.stats.hit_rate,
+            "L1I": self.l1i.stats.hit_rate,
+            "L2": self.l2.stats.hit_rate,
+            "L1DTLB": self.dtlb.stats.hit_rate,
+            "L1ITLB": self.itlb.stats.hit_rate,
+        }
+        if self.l3 is not None:
+            rates["L3"] = self.l3.stats.hit_rate
+        if self.l2_dtlb is not None:
+            rates["L2DTLB"] = self.l2_dtlb.stats.hit_rate
+        if self.l2_itlb is not None:
+            rates["L2ITLB"] = self.l2_itlb.stats.hit_rate
+        return rates

@@ -1,0 +1,89 @@
+"""Branch predictors: gshare baseline and a perceptron predictor.
+
+Models the Figure 1 "Branch Predictor" study: Jimenez & Lin's perceptron
+predictor [HPCA'01] against a simple gshare.  Perceptrons can learn long
+linearly-separable history correlations that saturating-counter tables
+cannot, which is exactly what distinguishes monolithic branch behaviour
+from the short, biased branches of microservice handlers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class GSharePredictor:
+    """Global-history XOR PC indexed table of 2-bit saturating counters."""
+
+    def __init__(self, table_bits: int = 12, history_len: int = 8):
+        self.table_bits = table_bits
+        self.history_len = history_len
+        self._table = np.full(1 << table_bits, 2, dtype=np.int8)  # weakly taken
+        self._history = 0
+        self._hist_mask = (1 << history_len) - 1
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & ((1 << self.table_bits) - 1)
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        if taken:
+            self._table[idx] = min(3, self._table[idx] + 1)
+        else:
+            self._table[idx] = max(0, self._table[idx] - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._hist_mask
+
+
+class PerceptronPredictor:
+    """Per-PC perceptron over the global history register."""
+
+    def __init__(self, n_perceptrons: int = 512, history_len: int = 24):
+        self.history_len = history_len
+        self.n = n_perceptrons
+        self._w = np.zeros((n_perceptrons, history_len + 1), dtype=np.int32)
+        self._hist = np.ones(history_len, dtype=np.int32)  # +-1 encoding
+        self.theta = int(1.93 * history_len + 14)           # training threshold
+
+    def _row(self, pc: int) -> int:
+        return pc % self.n
+
+    def _output(self, pc: int) -> int:
+        w = self._w[self._row(pc)]
+        return int(w[0] + (w[1:] * self._hist).sum())
+
+    def predict(self, pc: int) -> bool:
+        return self._output(pc) >= 0
+
+    def update(self, pc: int, taken: bool) -> None:
+        y = self._output(pc)
+        t = 1 if taken else -1
+        if (y >= 0) != taken or abs(y) <= self.theta:
+            row = self._w[self._row(pc)]
+            row[0] += t
+            row[1:] += t * self._hist
+        self._hist[1:] = self._hist[:-1]
+        self._hist[0] = t
+
+
+def measure_accuracy(predictor, pcs: np.ndarray, taken: np.ndarray,
+                     warmup_fraction: float = 0.1) -> float:
+    """Fraction of branches predicted correctly after a warm-up prefix.
+
+    Published predictor accuracies are steady-state numbers; the first
+    ``warmup_fraction`` of the trace trains the predictor but is excluded
+    from the score.
+    """
+    warmup = int(len(pcs) * warmup_fraction)
+    correct = 0
+    predict = predictor.predict
+    update = predictor.update
+    for i, (pc, t) in enumerate(zip(pcs, taken)):
+        pc = int(pc)
+        t = bool(t)
+        if predict(pc) == t and i >= warmup:
+            correct += 1
+        update(pc, t)
+    return correct / max(1, len(pcs) - warmup)

@@ -1,0 +1,35 @@
+"""Functional TLB model (a set-associative cache over page numbers)."""
+
+from __future__ import annotations
+
+from repro.cpu.cache import CacheStats, SetAssociativeCache
+
+
+class Tlb:
+    """Set-associative TLB; entries map virtual pages, LRU replacement."""
+
+    def __init__(self, entries: int, assoc: int, page_size: int = 4096, name: str = ""):
+        if entries < assoc:
+            raise ValueError(f"{name}: entries {entries} < assoc {assoc}")
+        # Round down to a whole number of sets; Table 2's 2048-entry 12-way
+        # L2 TLB becomes 170 sets x 12 ways = 2040 usable entries.
+        usable = (entries // assoc) * assoc
+        self.entries = usable
+        self.page_size = page_size
+        # Reuse the cache machinery: one "line" per page, line_size 1 over
+        # page numbers.
+        self._cache = SetAssociativeCache(
+            size_bytes=usable, assoc=assoc, line_size=1, name=name
+        )
+        self.name = name
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def access(self, addr: int) -> bool:
+        """Translate a byte address; returns True on TLB hit."""
+        return self._cache.access(addr // self.page_size)
+
+    def reset_stats(self) -> None:
+        self._cache.reset_stats()

@@ -1,0 +1,7 @@
+"""Experiment runners: one module per paper figure/table.
+
+Every module exposes ``run(...)`` returning structured results and a
+``main()`` that prints the paper-style table; each is runnable as
+``python -m repro.experiments.<module>``.  ``run_all`` regenerates every
+experiment and writes EXPERIMENTS.md-style output.
+"""

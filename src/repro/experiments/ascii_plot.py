@@ -1,0 +1,52 @@
+"""Terminal bar charts and sparklines for experiment output.
+
+The runners print paper-figure data as tables; these helpers add a quick
+visual so shapes (U-curves, CDFs, breakdowns) are visible at a glance
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 40, title: str = "",
+              fmt: str = "{:.2f}") -> str:
+    """Horizontal bar chart scaled to the maximum value."""
+    labels = [str(label) for label in labels]
+    values = [float(v) for v in values]
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not values:
+        raise ValueError("nothing to plot")
+    if min(values) < 0:
+        raise ValueError("bar_chart expects non-negative values")
+    peak = max(values) or 1.0
+    label_w = max(len(lbl) for lbl in labels)
+    lines: List[str] = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = int(round(width * value / peak))
+        lines.append(f"{label.rjust(label_w)} |{'#' * filled:<{width}}| "
+                     f"{fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Iterable[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """One-line unicode sparkline of a series."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("nothing to plot")
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _SPARK[0] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK) - 1))
+        out.append(_SPARK[max(0, min(len(_SPARK) - 1, idx))])
+    return "".join(out)

@@ -1,0 +1,87 @@
+"""Shared experiment harness: run settings, matrices, formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.systems.cluster import RunResult, simulate
+from repro.systems.configs import SystemConfig
+from repro.workloads.spec import AppSpec
+
+#: Figure-order list of the 8 SocialNetwork request types.
+APP_ORDER = ["Text", "SGraph", "User", "PstStr", "UsrMnt", "HomeT",
+             "CPost", "UrlShort"]
+
+#: The three load levels of Section 5 (RPS per server).
+PAPER_LOADS = (5000, 10000, 15000)
+
+
+@dataclass(frozen=True)
+class Settings:
+    """Simulation scale knobs shared by the latency experiments.
+
+    The paper simulates 10-server machines; the default here is smaller so
+    a full figure regenerates in minutes on a laptop.  Pass
+    ``Settings(n_servers=10, duration_s=0.05)`` for a paper-scale run.
+    """
+
+    n_servers: int = 2
+    duration_s: float = 0.03
+    seed: int = 1
+    warmup_fraction: float = 0.25
+
+
+_matrix_cache: Dict[tuple, RunResult] = {}
+
+
+def run_point(config: SystemConfig, app: AppSpec, rps: float,
+              settings: Settings) -> RunResult:
+    """One (system, app, load) cell, memoized within the process."""
+    key = (config.name, app.name, rps, settings)
+    result = _matrix_cache.get(key)
+    if result is None:
+        result = simulate(config, app, rps_per_server=rps,
+                          n_servers=settings.n_servers,
+                          duration_s=settings.duration_s,
+                          seed=settings.seed,
+                          warmup_fraction=settings.warmup_fraction)
+        _matrix_cache[key] = result
+    return result
+
+
+def run_matrix(configs: Sequence[SystemConfig], apps: Sequence[AppSpec],
+               loads: Sequence[float], settings: Settings,
+               progress: bool = False
+               ) -> Dict[Tuple[str, str, float], RunResult]:
+    """Cross product of systems x apps x loads."""
+    out = {}
+    for rps in loads:
+        for app in apps:
+            for config in configs:
+                if progress:
+                    print(f"  running {config.name} / {app.name} @ {rps} RPS",
+                          flush=True)
+                out[(config.name, app.name, rps)] = run_point(
+                    config, app, rps, settings)
+    return out
+
+
+def format_table(headers: List[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width text table."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), sep] + [line(r) for r in rows])
+
+
+def geomean(values: Sequence[float]) -> float:
+    import numpy as np
+
+    arr = np.asarray(list(values), dtype=float)
+    if len(arr) == 0 or (arr <= 0).any():
+        raise ValueError("geomean needs positive values")
+    return float(np.exp(np.log(arr).mean()))

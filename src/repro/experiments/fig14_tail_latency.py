@@ -1,0 +1,38 @@
+"""Figure 14: end-to-end tail (P99) latency, 3 systems x 8 apps x 3 loads.
+
+Paper: uManycore cuts tail latency vs ServerClass by 6.3x / 8.3x / 16.7x
+at 5K / 10K / 15K RPS, and vs ScaleOut by 5.4x / 6.5x / 7.4x.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import APP_ORDER, PAPER_LOADS, Settings, \
+    format_table
+from repro.experiments.latency_matrix import reduction_vs, run
+
+
+def main(settings: Settings = Settings(), progress: bool = True) -> None:
+    matrix = run(settings=settings, progress=progress)
+    paper_sc = {5000: 6.3, 10000: 8.3, 15000: 16.7}
+    paper_so = {5000: 5.4, 10000: 6.5, 15000: 7.4}
+    for load in PAPER_LOADS:
+        rows = []
+        for app in APP_ORDER:
+            sc = matrix[("ServerClass", app, load)].p99_ns
+            so = matrix[("ScaleOut", app, load)].p99_ns
+            um = matrix[("uManycore", app, load)].p99_ns
+            rows.append([app, f"{sc/1e6:.2f}", f"{so/sc:.3f}",
+                         f"{um/sc:.3f}"])
+        print(f"\nFigure 14 — load {load//1000}K RPS "
+              f"(ServerClass ms; others normalized to ServerClass)")
+        print(format_table(["app", "ServerClass(ms)", "ScaleOut",
+                            "uManycore"], rows))
+        sc_x = reduction_vs(matrix, "p99_ns", "ServerClass", load)
+        so_x = reduction_vs(matrix, "p99_ns", "ScaleOut", load)
+        print(f"tail reduction: vs ServerClass {sc_x:.1f}x "
+              f"(paper {paper_sc[load]}x); vs ScaleOut {so_x:.1f}x "
+              f"(paper {paper_so[load]}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Figure 15: cumulative contribution of the four uManycore techniques.
+
+Paper setup: start from ScaleOut at 15K RPS and apply, in order, villages,
+the leaf-spine ICN, hardware scheduling, and hardware context switching;
+report tail-latency reduction vs ScaleOut after each step.
+
+Paper result (average): 1.1x, 2.3x, 3.9x, 7.4x cumulative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.ascii_plot import bar_chart
+from repro.experiments.common import APP_ORDER, Settings, format_table, \
+    geomean
+from repro.systems.cluster import simulate
+from repro.systems.configs import SCALEOUT, ablation_ladder
+from repro.workloads.deathstar import social_network_app
+
+PAPER = {"+Villages": 1.1, "+Leaf-spine": 2.3, "+HW Scheduling": 3.9,
+         "+HW Context Switch": 7.4}
+
+
+def run(rps: float = 15_000, apps=tuple(APP_ORDER),
+        settings: Settings = Settings()) -> Dict[Tuple[str, str], float]:
+    """P99 (ns) per (step name, app); step 'ScaleOut' is the baseline."""
+    out: Dict[Tuple[str, str], float] = {}
+    steps = [SCALEOUT] + ablation_ladder()
+    for app_name in apps:
+        app = social_network_app(app_name)
+        for cfg in steps:
+            r = simulate(cfg, app, rps_per_server=rps,
+                         n_servers=settings.n_servers,
+                         duration_s=settings.duration_s, seed=settings.seed,
+                         warmup_fraction=settings.warmup_fraction)
+            out[(cfg.name, app_name)] = r.p99_ns
+    return out
+
+
+def main(settings: Settings = Settings()) -> None:
+    results = run(settings=settings)
+    step_names = [cfg.name for cfg in ablation_ladder()]
+    rows = []
+    for app in APP_ORDER:
+        base = results[("ScaleOut", app)]
+        rows.append([app] + [f"{base / results[(s, app)]:.2f}"
+                             for s in step_names])
+    print("Figure 15: cumulative tail-latency reduction vs ScaleOut, "
+          "15K RPS")
+    print(format_table(["app"] + step_names, rows))
+    reductions = []
+    for step in step_names:
+        avg = geomean([results[("ScaleOut", app)] / results[(step, app)]
+                       for app in APP_ORDER])
+        reductions.append(avg)
+        print(f"{step}: {avg:.2f}x (paper {PAPER[step]}x)")
+    print()
+    print(bar_chart(step_names, reductions,
+                    title="cumulative tail reduction (x)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Figure 18: maximum throughput without QoS violations.
+
+Paper setup: QoS is violated when a request takes more than 5x the
+contention-free average; the figure reports the highest load each system
+sustains.  Paper result: uManycore reaches 13.9-17.1x (avg 15.5x) the
+ServerClass throughput and 4.3x ScaleOut's, with absolute uManycore
+throughput of 150-254 KRPS per server across the apps.
+
+We binary-search the per-server load: a run passes when its P99 stays
+under 5x the contention-free average (measured at a very light load) and
+nothing is rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.common import Settings, format_table, geomean
+from repro.metrics.throughput import qos_threshold_ns
+from repro.systems.cluster import simulate
+from repro.systems.configs import SCALEOUT, SERVERCLASS, UMANYCORE
+from repro.workloads.deathstar import social_network_app
+
+SYSTEMS = (UMANYCORE, SCALEOUT, SERVERCLASS)
+DEFAULT_APPS = ("Text", "SGraph", "CPost", "UrlShort")
+
+
+def _passes(config, app, rps: float, threshold_ns: float,
+            settings: Settings) -> bool:
+    r = simulate(config, app, rps_per_server=rps,
+                 n_servers=settings.n_servers,
+                 duration_s=settings.duration_s, seed=settings.seed,
+                 warmup_fraction=settings.warmup_fraction)
+    return r.p99_ns <= threshold_ns and r.rejected == 0
+
+
+def max_throughput(config, app, settings: Settings,
+                   low: float = 1000.0, high: float = 300_000.0,
+                   iterations: int = 8) -> float:
+    """Binary search for the largest QoS-compliant per-server load."""
+    calib = simulate(config, app, rps_per_server=200.0,
+                     n_servers=1, duration_s=min(0.05, settings.duration_s * 2),
+                     seed=settings.seed, warmup_fraction=0.1)
+    threshold = qos_threshold_ns(calib.mean_ns)
+    if not _passes(config, app, low, threshold, settings):
+        return low
+    for __ in range(iterations):
+        mid = (low + high) / 2.0
+        if _passes(config, app, mid, threshold, settings):
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def run(apps: Sequence[str] = DEFAULT_APPS,
+        settings: Settings = Settings(n_servers=1, duration_s=0.02)
+        ) -> Dict[Tuple[str, str], float]:
+    out: Dict[Tuple[str, str], float] = {}
+    for app_name in apps:
+        app = social_network_app(app_name)
+        for config in SYSTEMS:
+            out[(config.name, app_name)] = max_throughput(
+                config, app, settings)
+    return out
+
+
+def main() -> None:
+    results = run()
+    apps = sorted({app for __, app in results})
+    rows = []
+    for app in apps:
+        um = results[("uManycore", app)]
+        rows.append([app, f"{um/1000:.0f}K",
+                     f"{um/results[('ScaleOut', app)]:.1f}x",
+                     f"{um/results[('ServerClass', app)]:.1f}x"])
+    print("Figure 18: max QoS-compliant throughput per server")
+    print(format_table(["app", "uManycore", "vs ScaleOut",
+                        "vs ServerClass"], rows))
+    sc = geomean([results[("uManycore", a)] / results[("ServerClass", a)]
+                  for a in apps])
+    so = geomean([results[("uManycore", a)] / results[("ScaleOut", a)]
+                  for a in apps])
+    print(f"\naverage: {sc:.1f}x over ServerClass (paper 15.5x), "
+          f"{so:.1f}x over ScaleOut (paper 4.3x)")
+
+
+if __name__ == "__main__":
+    main()

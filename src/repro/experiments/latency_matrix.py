@@ -1,0 +1,37 @@
+"""Shared harness for the end-to-end latency matrix (Figures 14, 16, 17).
+
+One matrix of runs — 3 systems x 8 SocialNetwork request types x 3 load
+levels — feeds the tail-latency figure (14), the average-latency figure
+(16) and the tail-to-average figure (17).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.common import APP_ORDER, PAPER_LOADS, Settings, \
+    geomean, run_matrix
+from repro.systems.cluster import RunResult
+from repro.systems.configs import SCALEOUT, SERVERCLASS, UMANYCORE
+from repro.workloads.deathstar import social_network_app
+
+SYSTEMS = (UMANYCORE, SCALEOUT, SERVERCLASS)
+
+
+def run(loads: Sequence[int] = PAPER_LOADS,
+        apps: Sequence[str] = tuple(APP_ORDER),
+        settings: Settings = Settings(),
+        progress: bool = False) -> Dict[Tuple[str, str, float], RunResult]:
+    app_specs = [social_network_app(name) for name in apps]
+    return run_matrix(SYSTEMS, app_specs, loads, settings, progress=progress)
+
+
+def reduction_vs(matrix, metric: str, baseline: str, load: int,
+                 apps: Sequence[str] = tuple(APP_ORDER)) -> float:
+    """Geomean of baseline/uManycore for ``metric`` at one load."""
+    ratios = []
+    for app in apps:
+        um = getattr(matrix[("uManycore", app, load)], metric)
+        base = getattr(matrix[(baseline, app, load)], metric)
+        ratios.append(base / um)
+    return geomean(ratios)

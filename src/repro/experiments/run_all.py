@@ -1,0 +1,77 @@
+"""Run every experiment and print all paper-figure tables.
+
+``python -m repro.experiments.run_all [--quick]``
+
+``--quick`` uses reduced scales (useful for smoke-testing the harness);
+the default takes tens of minutes and produces the numbers recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    fig01_microarch,
+    fig02_rps_cdf,
+    fig03_queues,
+    fig04_cpu_util,
+    fig05_rpc_count,
+    fig06_context_switch,
+    fig07_icn_contention,
+    fig08_footprint,
+    fig09_hit_rates,
+    fig14_tail_latency,
+    fig15_breakdown,
+    fig16_avg_latency,
+    fig17_tail_to_avg,
+    fig18_throughput,
+    fig19_sensitivity,
+    fig20_synthetic,
+    power_area,
+    sec68_iso_area,
+)
+from repro.experiments.common import Settings
+
+SECTIONS = [
+    ("Figure 1", fig01_microarch.main),
+    ("Figure 2", fig02_rps_cdf.main),
+    ("Figure 3", fig03_queues.main),
+    ("Figure 4", fig04_cpu_util.main),
+    ("Figure 5", fig05_rpc_count.main),
+    ("Figure 6", fig06_context_switch.main),
+    ("Figure 7", fig07_icn_contention.main),
+    ("Figure 8", fig08_footprint.main),
+    ("Figure 9", fig09_hit_rates.main),
+    ("Figures 14/16/17", None),  # share one matrix; run via wrappers below
+    ("Figure 15", fig15_breakdown.main),
+    ("Figure 18", fig18_throughput.main),
+    ("Figure 19", fig19_sensitivity.main),
+    ("Figure 20", fig20_synthetic.main),
+    ("Section 6.8", sec68_iso_area.main),
+    ("Power & area", power_area.main),
+]
+
+
+def main(quick: bool = False) -> None:
+    settings = Settings(n_servers=1, duration_s=0.02) if quick else Settings()
+    start = time.time()
+    for title, runner in SECTIONS:
+        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}", flush=True)
+        t0 = time.time()
+        if runner is None:
+            fig14_tail_latency.main(settings=settings, progress=False)
+            fig16_avg_latency.main(settings=settings, progress=False)
+            fig17_tail_to_avg.main(settings=settings, progress=False)
+        elif runner in (fig15_breakdown.main, fig19_sensitivity.main,
+                        fig20_synthetic.main, sec68_iso_area.main):
+            runner(settings=settings)
+        else:
+            runner()
+        print(f"[{title} done in {time.time() - t0:.0f}s]", flush=True)
+    print(f"\ntotal: {time.time() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -1,0 +1,59 @@
+"""Section 6.8: comparison to an iso-area ServerClass CPU.
+
+Paper: scaling ServerClass to 128 cores (same area as uManycore) makes it
+match or slightly beat ScaleOut, but its tail is still 7.3x higher than
+uManycore's on average across loads and apps — and it burns 3.2x more
+power.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.common import PAPER_LOADS, Settings, format_table, \
+    geomean
+from repro.power import system_budget
+from repro.systems.cluster import simulate
+from repro.systems.configs import SERVERCLASS_128, UMANYCORE
+from repro.workloads.deathstar import social_network_app
+
+DEFAULT_APPS = ("Text", "SGraph", "CPost", "UrlShort")
+
+
+def run(apps=DEFAULT_APPS, loads=PAPER_LOADS,
+        settings: Settings = Settings()) -> Dict[Tuple[str, str, int], float]:
+    out: Dict[Tuple[str, str, int], float] = {}
+    for app_name in apps:
+        app = social_network_app(app_name)
+        for rps in loads:
+            for config in (UMANYCORE, SERVERCLASS_128):
+                r = simulate(config, app, rps_per_server=rps,
+                             n_servers=settings.n_servers,
+                             duration_s=settings.duration_s,
+                             seed=settings.seed,
+                             warmup_fraction=settings.warmup_fraction)
+                out[(config.name, app_name, rps)] = r.p99_ns
+    return out
+
+
+def main(settings: Settings = Settings()) -> None:
+    results = run(settings=settings)
+    apps = sorted({a for __, a, __l in results})
+    rows, ratios = [], []
+    for app in apps:
+        for rps in PAPER_LOADS:
+            ratio = results[("ServerClass-128", app, rps)] / \
+                results[("uManycore", app, rps)]
+            ratios.append(ratio)
+            rows.append([app, f"{rps//1000}K", f"{ratio:.2f}"])
+    print("Section 6.8: iso-area ServerClass (128 cores) tail vs uManycore")
+    print(format_table(["app", "load", "SC128/uM tail"], rows))
+    print(f"\naverage: {geomean(ratios):.1f}x (paper 7.3x)")
+    power_ratio = system_budget(SERVERCLASS_128).power_w / \
+        system_budget(UMANYCORE).power_w
+    print(f"power: ServerClass-128 uses {power_ratio:.1f}x the uManycore "
+          f"power (paper 3.2x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""On-package interconnection networks.
+
+Three topologies from the paper: 2D mesh (ServerClass), fat-tree
+(ScaleOut) and the hierarchical leaf-spine of uManycore.  A
+:class:`~repro.icn.network.Network` instantiates a topology over the
+event engine, modelling every link as a FIFO resource so that contention
+appears as queueing delay — the mechanism behind Figure 7.
+"""
+
+from repro.icn.fattree import FatTree
+from repro.icn.leafspine import HierarchicalLeafSpine
+from repro.icn.mesh import Mesh2D
+from repro.icn.network import Network, NetworkConfig
+from repro.icn.topology import Topology
+
+__all__ = [
+    "Topology",
+    "Mesh2D",
+    "FatTree",
+    "HierarchicalLeafSpine",
+    "Network",
+    "NetworkConfig",
+]

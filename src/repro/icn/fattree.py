@@ -1,0 +1,76 @@
+"""Fat-tree ICN (the ScaleOut baseline).
+
+Section 5: "the fat-tree topology has 63 NHs and its longest path is 10
+hops".  That is a binary tree over 32 leaves (32+16+8+4+2+1 = 63
+switches; leaf -> root -> leaf = 10 hops).  Fatness is modelled as link
+capacity doubling towards the root, capped — a tapered fat-tree, which is
+what keeps it cheaper than a full-bisection fabric and why it still
+suffers contention near the root.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.icn.topology import Topology
+
+
+class FatTree(Topology):
+    """Binary fat-tree over ``n_leaves`` leaf switches.
+
+    Nodes are ``ft{level}:{index}``; level 0 is the leaves.  A single
+    up/down path exists between any two leaves (deterministic routing).
+    """
+
+    def __init__(self, n_leaves: int = 32, max_link_capacity: int = 2):
+        if n_leaves < 2 or n_leaves & (n_leaves - 1):
+            raise ValueError("n_leaves must be a power of two >= 2")
+        super().__init__(name=f"fattree{n_leaves}")
+        self.n_leaves = n_leaves
+        self.levels = n_leaves.bit_length()  # 32 -> 6 levels (0..5)
+        for level in range(self.levels - 1):
+            width = n_leaves >> level
+            capacity = min(2 ** level * 2, max_link_capacity)
+            for i in range(width):
+                self.add_link(self.switch(level, i),
+                              self.switch(level + 1, i // 2),
+                              capacity=capacity)
+
+    @staticmethod
+    def switch(level: int, index: int) -> str:
+        return f"ft{level}:{index}"
+
+    def leaf(self, index: int) -> str:
+        if not 0 <= index < self.n_leaves:
+            raise IndexError(f"leaf index {index} out of range")
+        return self.switch(0, index)
+
+    @property
+    def n_switches(self) -> int:
+        return 2 * self.n_leaves - 1
+
+    def _route(self, src: str, dst: str,
+               rng: Optional[np.random.Generator] = None) -> List[str]:
+        """Up to the lowest common ancestor, then down."""
+        if src == dst:
+            return [src]
+        sl, si = self._parse(src)
+        dl, di = self._parse(dst)
+        up: List[str] = [src]
+        down: List[str] = [dst]
+        while (sl, si) != (dl, di):
+            if sl <= dl:
+                sl, si = sl + 1, si // 2
+                up.append(self.switch(sl, si))
+            else:
+                dl, di = dl + 1, di // 2
+                down.append(self.switch(dl, di))
+        # The meeting node appears at the end of both lists.
+        return up + down[::-1][1:]
+
+    @staticmethod
+    def _parse(node: str):
+        level, index = node[2:].split(":")
+        return int(level), int(index)

@@ -1,0 +1,92 @@
+"""Hierarchical leaf-spine ICN — the uManycore topology (Section 4.2).
+
+Default geometry matches Section 5: 32 leaf NHs in 4 pods of 8; each pod
+has 4 second-level (spine) NHs connected all-to-all to its 8 leaves; 8
+third-level (core) NHs each connect to all 16 spines.  Longest path:
+leaf -> spine -> core -> spine -> leaf = 4 hops, and every stage offers
+multiple equal-cost choices (ECMP), which is what suppresses contention.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.icn.topology import Topology
+
+
+class HierarchicalLeafSpine(Topology):
+    """Pods of leaf+spine switches joined by a third level of core switches."""
+
+    def __init__(self, n_pods: int = 4, leaves_per_pod: int = 8,
+                 spines_per_pod: int = 4, n_core: int = 8,
+                 link_capacity: int = 1):
+        if min(n_pods, leaves_per_pod, spines_per_pod) < 1 or n_core < 1:
+            raise ValueError("all dimensions must be >= 1")
+        super().__init__(name=f"leafspine{n_pods}x{leaves_per_pod}")
+        self.n_pods = n_pods
+        self.leaves_per_pod = leaves_per_pod
+        self.spines_per_pod = spines_per_pod
+        self.n_core = n_core
+        for pod in range(n_pods):
+            for leaf in range(leaves_per_pod):
+                for spine in range(spines_per_pod):
+                    self.add_link(self.leaf_name(pod, leaf),
+                                  self.spine_name(pod, spine),
+                                  capacity=link_capacity)
+            for spine in range(spines_per_pod):
+                for core in range(n_core):
+                    self.add_link(self.spine_name(pod, spine),
+                                  self.core_name(core),
+                                  capacity=link_capacity)
+
+    @property
+    def n_leaves(self) -> int:
+        return self.n_pods * self.leaves_per_pod
+
+    @property
+    def n_switches(self) -> int:
+        return self.n_leaves + self.n_pods * self.spines_per_pod + self.n_core
+
+    @staticmethod
+    def leaf_name(pod: int, leaf: int) -> str:
+        return f"leaf{pod}:{leaf}"
+
+    @staticmethod
+    def spine_name(pod: int, spine: int) -> str:
+        return f"spine{pod}:{spine}"
+
+    @staticmethod
+    def core_name(core: int) -> str:
+        return f"core{core}"
+
+    def leaf(self, index: int) -> str:
+        """Global leaf index 0..n_leaves-1 -> node name."""
+        if not 0 <= index < self.n_leaves:
+            raise IndexError(f"leaf index {index} out of range")
+        return self.leaf_name(index // self.leaves_per_pod,
+                              index % self.leaves_per_pod)
+
+    def _route(self, src: str, dst: str,
+               rng: Optional[np.random.Generator] = None) -> List[str]:
+        """ECMP routing: random equal-cost spine/core picks per message."""
+        if src == dst:
+            return [src]
+        choice = (lambda n: int(rng.integers(n))) if rng is not None else (lambda n: 0)
+        src_pod, __ = self._parse_leaf(src)
+        dst_pod, __ = self._parse_leaf(dst)
+        if src_pod == dst_pod:
+            spine = self.spine_name(src_pod, choice(self.spines_per_pod))
+            return [src, spine, dst]
+        up_spine = self.spine_name(src_pod, choice(self.spines_per_pod))
+        core = self.core_name(choice(self.n_core))
+        down_spine = self.spine_name(dst_pod, choice(self.spines_per_pod))
+        return [src, up_spine, core, down_spine, dst]
+
+    @staticmethod
+    def _parse_leaf(node: str):
+        if not node.startswith("leaf"):
+            raise ValueError(f"leaf-spine routing endpoints must be leaves: {node}")
+        pod, leaf = node[4:].split(":")
+        return int(pod), int(leaf)

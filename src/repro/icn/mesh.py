@@ -1,0 +1,59 @@
+"""2D mesh with XY dimension-order routing (the ServerClass ICN)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.icn.topology import Topology
+
+
+class Mesh2D(Topology):
+    """``cols`` x ``rows`` mesh of tiles, named ``t{x},{y}``.
+
+    Routing is deterministic XY (first along x, then along y), the common
+    deadlock-free scheme; determinism is also what concentrates traffic
+    and makes meshes contention-prone (Figure 7).
+    """
+
+    def __init__(self, cols: int, rows: int, link_capacity: int = 1):
+        super().__init__(name=f"mesh{cols}x{rows}")
+        if cols < 1 or rows < 1:
+            raise ValueError("mesh dimensions must be >= 1")
+        self.cols = cols
+        self.rows = rows
+        for x in range(cols):
+            for y in range(rows):
+                if x + 1 < cols:
+                    self.add_link(self.tile(x, y), self.tile(x + 1, y),
+                                  capacity=link_capacity)
+                if y + 1 < rows:
+                    self.add_link(self.tile(x, y), self.tile(x, y + 1),
+                                  capacity=link_capacity)
+    @staticmethod
+    def tile(x: int, y: int) -> str:
+        return f"t{x},{y}"
+
+    @staticmethod
+    def coords(node: str) -> tuple:
+        x, y = node[1:].split(",")
+        return int(x), int(y)
+
+    def attach_at(self, name: str, x: int, y: int, capacity: int = 1) -> None:
+        """Attach an endpoint (e.g. the NIC) to a tile by coordinates."""
+        self.attach(name, self.tile(x, y), capacity=capacity)
+
+    def _route(self, src: str, dst: str,
+               rng: Optional[np.random.Generator] = None) -> List[str]:
+        x0, y0 = self.coords(src)
+        x1, y1 = self.coords(dst)
+        path = [self.tile(x0, y0)]
+        x, y = x0, y0
+        while x != x1:
+            x += 1 if x1 > x else -1
+            path.append(self.tile(x, y))
+        while y != y1:
+            y += 1 if y1 > y else -1
+            path.append(self.tile(x, y))
+        return path

@@ -1,0 +1,113 @@
+"""Event-driven network: links as FIFO resources, contention as queueing.
+
+Each hop costs the router+wire latency (Table 2: 5 cycles/hop) plus the
+message's serialization time on the link; a busy link queues messages.
+``contention=False`` turns links into pure delays — the normalization
+baseline of Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.icn.topology import Topology
+from repro.sim.engine import Engine
+from repro.sim.resource import Resource
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Link timing parameters.
+
+    ``hop_cycles`` and ``freq_ghz`` follow Table 2 (5 cycles/hop at 2 GHz);
+    ``link_bytes_per_ns`` models on-package link width (~128 B/ns).
+    """
+
+    hop_cycles: float = 5.0
+    freq_ghz: float = 2.0
+    link_bytes_per_ns: float = 128.0
+    contention: bool = True
+
+    @property
+    def hop_latency_ns(self) -> float:
+        return self.hop_cycles / self.freq_ghz
+
+    def serialization_ns(self, size_bytes: int) -> float:
+        return size_bytes / self.link_bytes_per_ns
+
+
+class Network:
+    """Drives messages across a topology on the event engine."""
+
+    def __init__(self, engine: Engine, topology: Topology,
+                 config: Optional[NetworkConfig] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.engine = engine
+        self.topology = topology
+        self.config = config or NetworkConfig()
+        self.rng = rng
+        self._links: Dict[Tuple[str, str], Resource] = {}
+        self.messages_sent = 0
+        self.hops_traversed = 0
+        self.total_latency = 0.0
+
+    def _link(self, u: str, v: str) -> Resource:
+        res = self._links.get((u, v))
+        if res is None:
+            res = Resource(self.engine, capacity=self.topology.link_capacity(u, v),
+                           name=f"{u}->{v}")
+            self._links[(u, v)] = res
+        return res
+
+    def send(self, src: str, dst: str, size_bytes: int,
+             on_delivered: Callable[[], None]) -> None:
+        """Route a message and call ``on_delivered`` when it arrives."""
+        path = self.topology.path(src, dst, self.rng)
+        self.messages_sent += 1
+        if len(path) < 2:
+            self.engine.schedule(0.0, on_delivered)
+            return
+        sent_at = self.engine.now
+        hop_time = self.config.hop_latency_ns + \
+            self.config.serialization_ns(size_bytes)
+        hops = list(zip(path, path[1:]))
+        self.hops_traversed += len(hops)
+
+        if not self.config.contention:
+            total = hop_time * len(hops)
+            self.engine.schedule(total, self._deliver, sent_at, on_delivered)
+            return
+
+        def traverse(index: int) -> None:
+            if index >= len(hops):
+                self._deliver(sent_at, on_delivered)
+                return
+            u, v = hops[index]
+            self._link(u, v).acquire(hop_time,
+                                     lambda s, f: traverse(index + 1))
+
+        traverse(0)
+
+    def _deliver(self, sent_at: float, on_delivered: Callable[[], None]) -> None:
+        self.total_latency += self.engine.now - sent_at
+        on_delivered()
+
+    def transit_time(self, src: str, dst: str, size_bytes: int) -> float:
+        """Contention-free latency of one message (for analytic baselines)."""
+        hops = len(self.topology.path(src, dst, self.rng)) - 1
+        return max(0, hops) * (self.config.hop_latency_ns
+                               + self.config.serialization_ns(size_bytes))
+
+    @property
+    def mean_latency(self) -> float:
+        if self.messages_sent == 0:
+            return 0.0
+        return self.total_latency / self.messages_sent
+
+    def busiest_links(self, top: int = 5):
+        """(link, jobs_served) of the most-used links — contention hot spots."""
+        ranked = sorted(self._links.items(), key=lambda kv: -kv[1].jobs_served)
+        return [(link, res.jobs_served) for link, res in ranked[:top]]

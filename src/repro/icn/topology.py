@@ -1,0 +1,123 @@
+"""Topology base class: a directed graph with per-link capacities.
+
+Concrete topologies implement :meth:`path`, returning the node sequence a
+message follows.  Multi-path topologies (leaf-spine, fat-tree fabrics)
+make randomized equal-cost choices using the caller's RNG, which is how
+ECMP load-spreading is modelled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class Topology:
+    """Directed graph; links carry a capacity used by the Network layer."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._adj: Dict[str, List[str]] = {}
+        self._capacity: Dict[Tuple[str, str], int] = {}
+        self._attachments: Dict[str, str] = {}
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._adj.keys())
+
+    @property
+    def links(self) -> List[Tuple[str, str]]:
+        return list(self._capacity.keys())
+
+    def add_node(self, node: str) -> None:
+        self._adj.setdefault(node, [])
+
+    def add_link(self, u: str, v: str, capacity: int = 1,
+                 bidirectional: bool = True) -> None:
+        """Add a directed link u->v (and v->u unless ``bidirectional=False``)."""
+        if capacity < 1:
+            raise ValueError("link capacity must be >= 1")
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adj[u]:
+            self._adj[u].append(v)
+        self._capacity[(u, v)] = capacity
+        if bidirectional:
+            if u not in self._adj[v]:
+                self._adj[v].append(u)
+            self._capacity[(v, u)] = capacity
+
+    def has_link(self, u: str, v: str) -> bool:
+        return (u, v) in self._capacity
+
+    def link_capacity(self, u: str, v: str) -> int:
+        return self._capacity[(u, v)]
+
+    def neighbors(self, node: str) -> List[str]:
+        return self._adj[node]
+
+    def attach(self, name: str, node: str, capacity: int = 1) -> None:
+        """Attach an endpoint (NIC, village port) to a switch node.
+
+        Endpoint hops are real links (they can contend) but routing inside
+        the fabric is delegated to the topology's own scheme.
+        """
+        if node not in self._adj:
+            raise KeyError(f"cannot attach {name!r}: unknown node {node!r}")
+        self.add_link(name, node, capacity=capacity)
+        self._attachments[name] = node
+
+    def attachment_point(self, name: str) -> str:
+        return self._attachments[name]
+
+    def path(self, src: str, dst: str, rng: Optional[np.random.Generator] = None
+             ) -> List[str]:
+        """Node sequence from src to dst, resolving attached endpoints."""
+        prefix: List[str] = []
+        suffix: List[str] = []
+        if src in self._attachments:
+            prefix = [src]
+            src = self._attachments[src]
+        if dst in self._attachments:
+            suffix = [dst]
+            dst = self._attachments[dst]
+        full = prefix + self._route(src, dst, rng) + suffix
+        return [n for i, n in enumerate(full) if i == 0 or n != full[i - 1]]
+
+    def _route(self, src: str, dst: str,
+               rng: Optional[np.random.Generator] = None) -> List[str]:
+        """Fabric-internal routing; subclasses override.  Default: BFS."""
+        return self.shortest_path(src, dst)
+
+    def shortest_path(self, src: str, dst: str) -> List[str]:
+        """BFS shortest path; raises if disconnected."""
+        if src == dst:
+            return [src]
+        if src not in self._adj or dst not in self._adj:
+            raise KeyError(f"unknown node in path request: {src} -> {dst}")
+        prev: Dict[str, str] = {}
+        q = deque([src])
+        seen = {src}
+        while q:
+            node = q.popleft()
+            for nb in self._adj[node]:
+                if nb in seen:
+                    continue
+                seen.add(nb)
+                prev[nb] = node
+                if nb == dst:
+                    path = [dst]
+                    while path[-1] != src:
+                        path.append(prev[path[-1]])
+                    return path[::-1]
+                q.append(nb)
+        raise ValueError(f"no path from {src} to {dst}")
+
+    def validate_path(self, path: List[str]) -> bool:
+        """True when every consecutive pair is an existing link."""
+        return all(self.has_link(u, v) for u, v in zip(path, path[1:]))
+
+    def hop_count(self, src: str, dst: str) -> int:
+        return len(self.shortest_path(src, dst)) - 1

@@ -1,0 +1,156 @@
+"""Handler/instance memory-footprint sharing model (Section 3.5, Figure 8).
+
+A service instance has an *initialization footprint* (container, runtime,
+libraries) and each handler has a small per-request footprint (~0.5 MB on
+average).  Handlers of the same instance read mostly the same pages: the
+paper measures 78-99% commonality between two handlers, and between a
+handler and the initialization footprint, at both page and cache-line
+granularity, for data and instructions.
+
+We model footprints as sets of page/line ids.  A handler draws most of
+its pages from the instance's shared pool and a small remainder from a
+private region; line-granularity sharing within a shared page is itself
+partial (a handler touches a subset of each page's lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+import numpy as np
+
+PAGE_BYTES = 4096
+LINE_BYTES = 64
+LINES_PER_PAGE = PAGE_BYTES // LINE_BYTES
+
+
+@dataclass(frozen=True)
+class SharingReport:
+    """Fraction of a handler footprint common with another footprint."""
+
+    d_page: float
+    d_line: float
+    i_page: float
+    i_line: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"d-Page": self.d_page, "d-Line": self.d_line,
+                "i-Page": self.i_page, "i-Line": self.i_line}
+
+
+@dataclass
+class HandlerFootprint:
+    """Concrete pages/lines touched by one handler."""
+
+    data_pages: Set[int]
+    data_lines: Set[int]
+    instr_pages: Set[int]
+    instr_lines: Set[int]
+
+    @property
+    def data_bytes(self) -> int:
+        return len(self.data_lines) * LINE_BYTES
+
+
+class FootprintModel:
+    """Generates instance-init and handler footprints for one service.
+
+    Parameters follow the paper: handler data footprint ~0.5 MB, of which
+    ``shared_page_fraction`` of pages come from the instance's shared pool
+    (≈0.85 for data, ≈0.97 for instructions — instructions are the same
+    handler code every time).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        handler_data_kb: float = 512.0,
+        handler_instr_kb: float = 128.0,
+        init_data_kb: float = 4096.0,
+        init_instr_kb: float = 1024.0,
+        shared_data_page_fraction: float = 0.85,
+        shared_instr_page_fraction: float = 0.97,
+        lines_touched_per_page: float = 0.8,
+    ):
+        if not 0 <= shared_data_page_fraction <= 1:
+            raise ValueError("shared_data_page_fraction must be in [0, 1]")
+        if not 0 <= shared_instr_page_fraction <= 1:
+            raise ValueError("shared_instr_page_fraction must be in [0, 1]")
+        self.rng = rng
+        self.handler_data_pages = max(1, int(handler_data_kb * 1024 / PAGE_BYTES))
+        self.handler_instr_pages = max(1, int(handler_instr_kb * 1024 / PAGE_BYTES))
+        self.init_data_pages = max(1, int(init_data_kb * 1024 / PAGE_BYTES))
+        self.init_instr_pages = max(1, int(init_instr_kb * 1024 / PAGE_BYTES))
+        self.shared_data_page_fraction = shared_data_page_fraction
+        self.shared_instr_page_fraction = shared_instr_page_fraction
+        self.lines_touched_per_page = lines_touched_per_page
+        self._next_private_page = self.init_data_pages + self.init_instr_pages
+
+    def init_footprint(self) -> HandlerFootprint:
+        """The instance's initialization footprint (all pool pages)."""
+        d_pages = set(range(self.init_data_pages))
+        i_pages = set(range(self.init_data_pages,
+                            self.init_data_pages + self.init_instr_pages))
+        return HandlerFootprint(
+            data_pages=d_pages,
+            data_lines=self._all_lines(d_pages),
+            instr_pages=i_pages,
+            instr_lines=self._all_lines(i_pages),
+        )
+
+    def handler_footprint(self) -> HandlerFootprint:
+        """One handler's footprint: mostly shared pages, few private ones."""
+        d_pages, d_lines = self._draw(
+            self.handler_data_pages, self.init_data_pages, 0,
+            self.shared_data_page_fraction)
+        i_pages, i_lines = self._draw(
+            self.handler_instr_pages, self.init_instr_pages,
+            self.init_data_pages, self.shared_instr_page_fraction)
+        return HandlerFootprint(d_pages, d_lines, i_pages, i_lines)
+
+    def _draw(self, n_pages: int, pool_size: int, pool_base: int,
+              shared_fraction: float) -> Tuple[Set[int], Set[int]]:
+        n_shared = int(round(n_pages * shared_fraction))
+        n_shared = min(n_shared, pool_size)
+        # Handlers of a service execute the same code over the same
+        # read-mostly state, so the bulk of the shared pages is the same
+        # *hot set* every time; only a small remainder varies per request.
+        n_hot = int(round(n_shared * 0.9))
+        shared = set(pool_base + p for p in range(n_hot))
+        n_varying = n_shared - n_hot
+        if n_varying > 0 and pool_size > n_hot:
+            varying = self.rng.choice(pool_size - n_hot, size=min(
+                n_varying, pool_size - n_hot), replace=False)
+            shared.update(pool_base + n_hot + int(v) for v in varying)
+        private = set()
+        for __ in range(n_pages - n_shared):
+            private.add(self._next_private_page)
+            self._next_private_page += 1
+        pages = shared | private
+        lines = set()
+        for page in pages:
+            n_lines = max(1, int(self.rng.binomial(
+                LINES_PER_PAGE, self.lines_touched_per_page)))
+            # Handlers touch a page's lines from the start (headers first),
+            # so line sets of a shared page largely overlap too.
+            lines.update(page * LINES_PER_PAGE + i for i in range(n_lines))
+        return pages, lines
+
+    @staticmethod
+    def _all_lines(pages: Set[int]) -> Set[int]:
+        return {p * LINES_PER_PAGE + i for p in pages for i in range(LINES_PER_PAGE)}
+
+
+def sharing(a: HandlerFootprint, b: HandlerFootprint) -> SharingReport:
+    """Fraction of ``a``'s footprint also present in ``b`` (Figure 8 bars)."""
+
+    def frac(x: Set[int], y: Set[int]) -> float:
+        return len(x & y) / len(x) if x else 0.0
+
+    return SharingReport(
+        d_page=frac(a.data_pages, b.data_pages),
+        d_line=frac(a.data_lines, b.data_lines),
+        i_page=frac(a.instr_pages, b.instr_pages),
+        i_line=frac(a.instr_lines, b.instr_lines),
+    )

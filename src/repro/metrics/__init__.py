@@ -1,0 +1,12 @@
+"""Measurement utilities: latency recording, throughput/QoS accounting."""
+
+from repro.metrics.latency import LatencyRecorder, LatencySummary
+from repro.metrics.throughput import ThroughputResult, qos_threshold_ns, qos_violated
+
+__all__ = [
+    "LatencyRecorder",
+    "LatencySummary",
+    "ThroughputResult",
+    "qos_violated",
+    "qos_threshold_ns",
+]

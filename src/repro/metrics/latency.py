@@ -1,0 +1,73 @@
+"""End-to-end latency recording and summarization.
+
+The paper reports average and P99 ("tail") response times, measured
+end-to-end from client send to client receive (Section 6), after the
+system reaches steady state.  ``LatencyRecorder`` supports a warm-up
+cutoff so ramp-up samples can be excluded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of one run (all times in ns)."""
+
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    p999: float
+    maximum: float
+
+    @property
+    def tail_to_average(self) -> float:
+        return self.p99 / self.mean if self.mean > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {"count": self.count, "mean": self.mean, "p50": self.p50,
+                "p99": self.p99, "p999": self.p999, "max": self.maximum}
+
+
+class LatencyRecorder:
+    """Collects (completion_time, latency) samples."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: List[float] = []
+        self._latencies: List[float] = []
+
+    def record(self, completion_ns: float, latency_ns: float) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency: {latency_ns}")
+        self._times.append(completion_ns)
+        self._latencies.append(latency_ns)
+
+    def __len__(self) -> int:
+        return len(self._latencies)
+
+    def latencies(self, after_ns: float = 0.0) -> np.ndarray:
+        """Latency samples completing after the warm-up cutoff."""
+        if after_ns <= 0:
+            return np.asarray(self._latencies)
+        times = np.asarray(self._times)
+        lats = np.asarray(self._latencies)
+        return lats[times >= after_ns]
+
+    def summary(self, after_ns: float = 0.0) -> LatencySummary:
+        lats = self.latencies(after_ns)
+        if len(lats) == 0:
+            raise ValueError(f"no samples recorded ({self.name!r})")
+        return LatencySummary(
+            count=len(lats),
+            mean=float(np.mean(lats)),
+            p50=float(np.percentile(lats, 50)),
+            p99=float(np.percentile(lats, 99)),
+            p999=float(np.percentile(lats, 99.9)),
+            maximum=float(np.max(lats)),
+        )

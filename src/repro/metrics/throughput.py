@@ -1,0 +1,53 @@
+"""Throughput and QoS accounting (Section 6.5).
+
+"We say that a QoS violation occurs if the request execution time is
+higher than 5 times the contention-free average request execution time."
+Figure 18 reports the maximum load each system sustains without QoS
+violations; the search harness in :mod:`repro.experiments.fig18_throughput`
+uses these helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+QOS_FACTOR = 5.0
+
+
+def qos_threshold_ns(contention_free_avg_ns: float,
+                     factor: float = QOS_FACTOR) -> float:
+    """Latency bound above which a request violates QoS."""
+    if contention_free_avg_ns <= 0:
+        raise ValueError("contention-free average must be positive")
+    return factor * contention_free_avg_ns
+
+
+def qos_violated(latencies_ns: np.ndarray, contention_free_avg_ns: float,
+                 factor: float = QOS_FACTOR,
+                 violation_quantile: float = 0.99) -> bool:
+    """True when the run violates QoS.
+
+    A run violates QoS when more than ``1 - violation_quantile`` of its
+    requests exceed the bound — i.e. the P99 latency is over threshold.
+    """
+    if len(latencies_ns) == 0:
+        raise ValueError("no latency samples")
+    threshold = qos_threshold_ns(contention_free_avg_ns, factor)
+    return float(np.percentile(latencies_ns, violation_quantile * 100)) > threshold
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of a max-throughput search for one system/app."""
+
+    system: str
+    app: str
+    max_rps: float
+    qos_threshold_ns: float
+
+    def normalized_to(self, baseline: "ThroughputResult") -> float:
+        if baseline.max_rps <= 0:
+            raise ValueError("baseline throughput must be positive")
+        return self.max_rps / baseline.max_rps

@@ -1,0 +1,17 @@
+"""NICs, RPC messaging, and the inter-server fabric."""
+
+from repro.net.fabric import InterServerFabric, FabricConfig, StorageBackend
+from repro.net.nic import LNic, NicConfig, RNic, TopLevelNic
+from repro.net.rpc import Message, MessageKind
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "LNic",
+    "RNic",
+    "TopLevelNic",
+    "NicConfig",
+    "InterServerFabric",
+    "FabricConfig",
+    "StorageBackend",
+]

@@ -1,0 +1,149 @@
+"""NIC models: village L-NIC / R-NIC and the package top-level NIC.
+
+Section 4.1: the L-NIC runs on the lossless on-package network (no
+retransmission/congestion machinery, back-pressure only), while the R-NIC
+talks to the lossy outside world and pays transport overheads.  Section
+4.2/4.3: the top-level NIC keeps a ServiceMap (service -> villages with an
+instance) and dispatches arriving requests round-robin in hardware; when a
+village RQ is full the NIC buffers, and when its buffer is exhausted it
+rejects the request.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.resource import Resource
+
+
+@dataclass(frozen=True)
+class NicConfig:
+    """Per-NIC processing and serialization parameters.
+
+    ``rpc_processing_ns`` is the RPC-layer cost (header parsing, payload
+    de-serialization, dispatch): ~hardware cost for uManycore's in-NIC
+    RPC processing, ~software cost for the baselines.
+    """
+
+    rpc_processing_ns: float = 50.0
+    bytes_per_ns: float = 100.0        # serialization bandwidth
+    transport_overhead_ns: float = 0.0  # R-NIC retransmit/flow-control logic
+
+
+class LNic:
+    """Lossless on-package NIC: serialization + fixed RPC processing."""
+
+    def __init__(self, engine: Engine, config: Optional[NicConfig] = None,
+                 name: str = ""):
+        self.engine = engine
+        self.config = config or NicConfig()
+        self.name = name
+        self._port = Resource(engine, capacity=1, name=f"{name}.port")
+        self.messages = 0
+
+    def process(self, size_bytes: int, done: Callable[[], None]) -> None:
+        """Pass one message through the NIC; ``done`` on completion."""
+        self.messages += 1
+        cfg = self.config
+        service = cfg.rpc_processing_ns + size_bytes / cfg.bytes_per_ns
+        self._port.acquire(service, lambda s, f: done())
+
+
+class RNic(LNic):
+    """Lossy-network NIC: adds transport (retransmission logic, flow and
+    congestion control bookkeeping) on top of the L-NIC datapath."""
+
+    def __init__(self, engine: Engine, config: Optional[NicConfig] = None,
+                 name: str = ""):
+        config = config or NicConfig(transport_overhead_ns=200.0)
+        super().__init__(engine, config, name)
+
+    def process(self, size_bytes: int, done: Callable[[], None]) -> None:
+        self.messages += 1
+        cfg = self.config
+        service = (cfg.rpc_processing_ns + cfg.transport_overhead_ns
+                   + size_bytes / cfg.bytes_per_ns)
+        self._port.acquire(service, lambda s, f: done())
+
+
+class TopLevelNic:
+    """Package NIC with the hardware ServiceMap dispatcher.
+
+    ``register_instance`` is called by system software whenever a service
+    instance boots in a village; ``pick_village`` implements the
+    round-robin hardware dispatch.  ``buffer_capacity`` bounds the
+    overflow queue used when village RQs are full.
+    """
+
+    def __init__(self, engine: Engine, config: Optional[NicConfig] = None,
+                 buffer_capacity: int = 256, name: str = "top-nic",
+                 dispatch: str = "rr", rng=None):
+        if dispatch not in ("rr", "random"):
+            raise ValueError(f"unknown dispatch mode {dispatch!r}")
+        if dispatch == "random" and rng is None:
+            raise ValueError("random dispatch needs an rng")
+        self.engine = engine
+        self.config = config or NicConfig()
+        self.name = name
+        self.dispatch = dispatch
+        self.rng = rng
+        self.buffer_capacity = buffer_capacity
+        self._service_map: Dict[str, List[int]] = {}
+        self._rr: Dict[str, int] = {}
+        self._buffer: deque = deque()
+        self._port = Resource(engine, capacity=2, name=f"{name}.port")
+        self.dispatched = 0
+        self.rejected = 0
+
+    def register_instance(self, service: str, village: int) -> None:
+        villages = self._service_map.setdefault(service, [])
+        if village not in villages:
+            villages.append(village)
+
+    def deregister_instance(self, service: str, village: int) -> None:
+        villages = self._service_map.get(service, [])
+        if village in villages:
+            villages.remove(village)
+
+    def villages_for(self, service: str) -> List[int]:
+        return list(self._service_map.get(service, []))
+
+    def pick_village(self, service: str) -> int:
+        """Pick a hosting village: round-robin (the Section 4.2 hardware)
+        or uniformly random (the Figure 3 queue study's assignment)."""
+        villages = self._service_map.get(service)
+        if not villages:
+            raise KeyError(f"no instance of service {service!r} registered")
+        self.dispatched += 1
+        if self.dispatch == "random":
+            return villages[int(self.rng.integers(len(villages)))]
+        idx = self._rr.get(service, 0) % len(villages)
+        self._rr[service] = idx + 1
+        return villages[idx]
+
+    def process(self, size_bytes: int, done: Callable[[], None]) -> None:
+        """NIC datapath cost for one external message."""
+        cfg = self.config
+        service = cfg.rpc_processing_ns + size_bytes / cfg.bytes_per_ns
+        self._port.acquire(service, lambda s, f: done())
+
+    # ---- overflow buffering (Section 4.3: full RQ -> NIC buffer -> reject)
+
+    def try_buffer(self, item) -> bool:
+        """Buffer a request that found its RQ full; False = rejected."""
+        if len(self._buffer) >= self.buffer_capacity:
+            self.rejected += 1
+            return False
+        self._buffer.append(item)
+        return True
+
+    def drain_buffered(self):
+        """Pop the oldest buffered request (None when empty)."""
+        return self._buffer.popleft() if self._buffer else None
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)

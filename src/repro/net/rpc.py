@@ -1,0 +1,43 @@
+"""RPC message representation."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class MessageKind(enum.Enum):
+    """What a message carries."""
+
+    REQUEST = "request"            # service invocation
+    RESPONSE = "response"          # result back to the caller
+    STORAGE_REQUEST = "storage_request"
+    STORAGE_RESPONSE = "storage_response"
+
+
+_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One RPC-layer message.
+
+    ``payload`` carries the simulator-level object (a request record);
+    ``size_bytes`` drives serialization/link occupancy.  Sizes default to
+    a small header+args RPC (requests) — Section 2.1's services exchange
+    small payloads.
+    """
+
+    kind: MessageKind
+    service: str
+    payload: Any = None
+    size_bytes: int = 512
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    msg_id: int = field(default_factory=lambda: next(_ids))
+
+    @property
+    def is_request(self) -> bool:
+        return self.kind in (MessageKind.REQUEST, MessageKind.STORAGE_REQUEST)

@@ -1,0 +1,31 @@
+"""Analytic power/area models (the CACTI + McPAT stand-in).
+
+The paper computes area and power with CACTI [5] and McPAT [46] at 32 nm,
+scaled to 10 nm [76].  We implement analytic models of the same shape —
+SRAM area/energy from geometry, core area/power from microarchitectural
+aggressiveness — with coefficients calibrated to the paper's reported
+endpoints: 10.225 W per ServerClass core, 0.396 W per ScaleOut core,
+0.408 W per uManycore core (core + its share of the cache hierarchy);
+547.2 mm2 for uManycore vs 176.1 mm2 for the 40-core ServerClass; and
+uManycore 2.9 % larger than ScaleOut.
+"""
+
+from repro.power.budget import SystemBudget, iso_area_cores, iso_power_cores, \
+    system_budget
+from repro.power.cacti import sram_area_mm2, sram_leakage_w, sram_read_energy_pj
+from repro.power.mcpat import core_area_mm2, core_power_w
+from repro.power.scaling import scale_area, scale_power
+
+__all__ = [
+    "sram_area_mm2",
+    "sram_read_energy_pj",
+    "sram_leakage_w",
+    "core_area_mm2",
+    "core_power_w",
+    "scale_area",
+    "scale_power",
+    "system_budget",
+    "SystemBudget",
+    "iso_power_cores",
+    "iso_area_cores",
+]

@@ -1,0 +1,133 @@
+"""Whole-processor area/power budgets and iso-power/iso-area sizing.
+
+``system_budget`` totals cores, caches and uncore (network hubs, memory
+pools, request queues, NICs) for a :class:`~repro.systems.configs.
+SystemConfig`.  ``iso_power_cores`` / ``iso_area_cores`` size a
+ServerClass-style processor to match a reference budget — the procedure
+behind the paper's 40-core (iso-power) and 128-core (iso-area)
+ServerClass configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.cacti import sram_area_mm2, sram_leakage_w
+from repro.power.mcpat import core_area_mm2, core_power_w
+from repro.systems.configs import SystemConfig
+
+KB = 1024
+MB = 1024 * 1024
+
+# Uncore component estimates at 10 nm.
+_NH_AREA_MM2 = 0.55            # one network-hub switch
+_NH_POWER_W = 0.18
+_POOL_MB = 4.0                 # memory-pool chiplet (dense eDRAM-like array)
+_POOL_DENSITY_FACTOR = 0.25    # vs 6T SRAM
+_RQ_BYTES = 16 * KB            # request queue + request context memory
+_TOP_NIC_AREA_MM2 = 2.0
+_TOP_NIC_POWER_W = 1.5
+
+
+@dataclass(frozen=True)
+class SystemBudget:
+    """Processor-wide area/power totals."""
+
+    name: str
+    core_area_mm2: float
+    cache_area_mm2: float
+    uncore_area_mm2: float
+    core_power_w: float
+    cache_power_w: float
+    uncore_power_w: float
+
+    @property
+    def area_mm2(self) -> float:
+        return self.core_area_mm2 + self.cache_area_mm2 + self.uncore_area_mm2
+
+    @property
+    def power_w(self) -> float:
+        return self.core_power_w + self.cache_power_w + self.uncore_power_w
+
+
+def _cache_bytes_per_core(config: SystemConfig) -> float:
+    """L1I + L1D + this core's share of L2 (and L3 for ServerClass)."""
+    if config.core.name == "serverclass":
+        return 2 * 64 * KB + 2 * MB + 2 * MB   # private L2 + L3 slice
+    return 2 * 64 * KB + 256 * KB / config.cores_per_village
+
+
+def _switch_count(config: SystemConfig) -> int:
+    if config.topology == "leafspine":
+        return 56 * config.n_clusters // 32 if config.n_clusters >= 32 else \
+            int(56 * config.n_clusters / 32) or 8
+    if config.topology == "fattree":
+        return 2 * config.n_clusters - 1
+    return config.n_clusters       # mesh: one router per tile
+
+
+def system_budget(config: SystemConfig, tech_nm: int = 10,
+                  activity: float = 0.6) -> SystemBudget:
+    """Area/power totals for one processor package."""
+    n = config.n_cores
+    core_area = n * core_area_mm2(config.core, tech_nm)
+    core_power = n * core_power_w(config.core, tech_nm, activity)
+    cache_bytes = n * _cache_bytes_per_core(config)
+    cache_area = sram_area_mm2(cache_bytes, tech_nm)
+    cache_power = sram_leakage_w(cache_bytes, tech_nm) * 2.2  # + dynamic
+    switches = _switch_count(config)
+    uncore_area = switches * _NH_AREA_MM2 + _TOP_NIC_AREA_MM2
+    uncore_power = switches * _NH_POWER_W + _TOP_NIC_POWER_W
+    if config.hw_queues:
+        # Villages add RQ hardware; clusters add memory-pool chiplets.
+        uncore_area += config.n_queues * sram_area_mm2(_RQ_BYTES, tech_nm)
+        uncore_area += config.n_clusters * sram_area_mm2(
+            _POOL_MB * MB, tech_nm) * _POOL_DENSITY_FACTOR
+        uncore_power += config.n_clusters * sram_leakage_w(
+            _POOL_MB * MB, tech_nm)
+    return SystemBudget(
+        name=config.name,
+        core_area_mm2=core_area,
+        cache_area_mm2=cache_area,
+        uncore_area_mm2=uncore_area,
+        core_power_w=core_power,
+        cache_power_w=cache_power,
+        uncore_power_w=uncore_power,
+    )
+
+
+def per_core_power_w(config: SystemConfig, tech_nm: int = 10,
+                     activity: float = 0.6) -> float:
+    """One core plus its share of the cache hierarchy (Section 5 metric)."""
+    budget = system_budget(config, tech_nm, activity)
+    return (budget.core_power_w + budget.cache_power_w) / config.n_cores
+
+
+def iso_power_cores(reference: SystemConfig, candidate: SystemConfig,
+                    tech_nm: int = 10, step: int = 4) -> int:
+    """Largest candidate core count whose power fits the reference budget."""
+    target = system_budget(reference, tech_nm).power_w
+    return _size(candidate, lambda b: b.power_w, target, tech_nm, step)
+
+
+def iso_area_cores(reference: SystemConfig, candidate: SystemConfig,
+                   tech_nm: int = 10, step: int = 4) -> int:
+    """Largest candidate core count whose area fits the reference budget."""
+    target = system_budget(reference, tech_nm).area_mm2
+    return _size(candidate, lambda b: b.area_mm2, target, tech_nm, step)
+
+
+def _size(candidate: SystemConfig, metric, target: float, tech_nm: int,
+          step: int) -> int:
+    import dataclasses
+
+    n = step
+    while True:
+        cfg = dataclasses.replace(
+            candidate, n_cores=n, cores_per_village=n, cores_per_queue=n,
+            n_clusters=n, coherence_domain_cores=n)
+        if metric(system_budget(cfg, tech_nm)) > target:
+            return max(step, n - step)
+        n += step
+        if n > 4096:
+            raise RuntimeError("iso sizing did not converge")

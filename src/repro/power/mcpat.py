@@ -1,0 +1,46 @@
+"""Core area/power model (the McPAT stand-in).
+
+Area grows with issue width and instruction-window size (rename, wakeup
+and bypass networks scale superlinearly); power is dynamic (area x
+frequency x voltage^2 x activity) plus leakage (proportional to area).
+Coefficients are calibrated at 10 nm against the paper's endpoints (see
+package docstring); all functions accept other nodes via the scaling
+tables.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.core_model import CoreConfig
+from repro.power.scaling import scale_area, scale_power
+
+# Calibrated at 10 nm.
+_AREA_COEF = 0.0033           # mm2 per (issue^1.2 * rob^0.7 * sqrt(GHz))
+_DYN_COEF = 0.20              # W per (mm2 * GHz^3 * Vdd^2) at activity 1.0
+_LEAK_W_PER_MM2 = 0.22
+
+
+def _supply_voltage(freq_ghz: float) -> float:
+    """Higher clocks need higher Vdd; ~0.65 V at 1 GHz to ~0.95 V at 3 GHz."""
+    return 0.55 + 0.13 * freq_ghz
+
+
+def core_area_mm2(core: CoreConfig, tech_nm: int = 10) -> float:
+    """Area of one core (logic only, caches modelled separately)."""
+    base = (_AREA_COEF * core.issue_width ** 1.2 * core.rob_entries ** 0.7
+            * core.freq_ghz ** 0.5)
+    return scale_area(base, 10, tech_nm)
+
+
+def core_power_w(core: CoreConfig, tech_nm: int = 10,
+                 activity: float = 0.6) -> float:
+    """Dynamic + leakage power of one core at the given activity factor."""
+    if not 0 <= activity <= 1:
+        raise ValueError("activity must be in [0, 1]")
+    area = core_area_mm2(core, 10)
+    vdd = _supply_voltage(core.freq_ghz)
+    # The effective cubic clock exponent captures the deeper pipelines,
+    # wider bypass networks and more aggressive timing of high-frequency
+    # designs on top of the explicit Vdd^2 term.
+    dynamic = _DYN_COEF * area * core.freq_ghz ** 3.0 * vdd ** 2 * activity
+    leakage = _LEAK_W_PER_MM2 * area * (vdd / 0.8) ** 2
+    return scale_power(dynamic + leakage, 10, tech_nm)

@@ -1,0 +1,33 @@
+"""CMOS technology scaling (the Stillmaker & Baas [76] stand-in).
+
+The paper evaluates structures at the tools' native 32 nm and scales to
+10 nm.  We tabulate area and power scale factors per node relative to
+32 nm, following the usual ~0.5x area per full node and the slower
+post-Dennard power scaling.
+"""
+
+from __future__ import annotations
+
+# Relative to 32 nm.  Area shrinks ~quadratically with feature size until
+# fins/wires stop scaling; power (at constant work) improves more slowly.
+_AREA_SCALE = {45: 2.0, 32: 1.0, 22: 0.52, 16: 0.30, 14: 0.25, 10: 0.145,
+               7: 0.095}
+_POWER_SCALE = {45: 1.45, 32: 1.0, 22: 0.70, 16: 0.52, 14: 0.46, 10: 0.36,
+                7: 0.30}
+
+
+def _lookup(table: dict, nm: int) -> float:
+    if nm not in table:
+        raise ValueError(f"unsupported technology node {nm} nm "
+                         f"(known: {sorted(table)})")
+    return table[nm]
+
+
+def scale_area(value_mm2: float, from_nm: int, to_nm: int) -> float:
+    """Scale an area from one node to another."""
+    return value_mm2 * _lookup(_AREA_SCALE, to_nm) / _lookup(_AREA_SCALE, from_nm)
+
+
+def scale_power(value_w: float, from_nm: int, to_nm: int) -> float:
+    """Scale a power figure from one node to another."""
+    return value_w * _lookup(_POWER_SCALE, to_nm) / _lookup(_POWER_SCALE, from_nm)

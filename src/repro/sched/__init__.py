@@ -1,0 +1,21 @@
+"""Scheduling policies and queueing-theory references.
+
+The Request Queue hardware serves FCFS (Section 4.3); the paper argues
+SRPT would gain little for microservices because same-service requests
+have similar durations and blocking calls already interleave work.  Both
+policies are implemented so the claim can be tested
+(:mod:`repro.sched.policies`), and :mod:`repro.sched.queueing` provides
+M/M/c formulas used to validate the simulator against theory.
+"""
+
+from repro.sched.policies import FCFS_POLICY, SRPT_POLICY, DequeuePolicy
+from repro.sched.queueing import erlang_c, mmc_mean_sojourn, mmc_mean_wait
+
+__all__ = [
+    "DequeuePolicy",
+    "FCFS_POLICY",
+    "SRPT_POLICY",
+    "erlang_c",
+    "mmc_mean_wait",
+    "mmc_mean_sojourn",
+]

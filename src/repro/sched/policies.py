@@ -1,0 +1,60 @@
+"""Dequeue-ordering policies for the Request Queue.
+
+A policy maps a READY record to a sort key; the RQ serves the smallest
+key first.  FCFS keys by arrival sequence (the hardware default of
+Section 4.3); SRPT keys by remaining work, tie-broken by arrival.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.request import RequestRecord
+
+
+class DequeuePolicy:
+    """Base: order READY entries by :meth:`key` (ascending)."""
+
+    name = "base"
+
+    def key(self, rec: RequestRecord) -> Tuple:
+        raise NotImplementedError
+
+
+class FcfsPolicy(DequeuePolicy):
+    """First-come-first-serve by RQ arrival order."""
+
+    name = "fcfs"
+
+    def key(self, rec: RequestRecord) -> Tuple:
+        return (rec._rq_seq,)
+
+
+class SrptPolicy(DequeuePolicy):
+    """Shortest Remaining Processing Time first.
+
+    Remaining work is the sum of the request's unexecuted compute
+    segments — what a hardware SRPT RQ could track in the Request
+    Context Memory.
+    """
+
+    name = "srpt"
+
+    def key(self, rec: RequestRecord) -> Tuple:
+        remaining = sum(rec.segments[rec.seg_index:])
+        return (remaining, rec._rq_seq)
+
+
+FCFS_POLICY = FcfsPolicy()
+SRPT_POLICY = SrptPolicy()
+
+POLICIES = {"fcfs": FCFS_POLICY, "srpt": SRPT_POLICY}
+
+
+def get_policy(name: str) -> DequeuePolicy:
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown dequeue policy {name!r}; "
+                         f"known: {sorted(POLICIES)}") from None

@@ -1,0 +1,42 @@
+"""Analytic M/M/c queueing formulas.
+
+Used as ground truth in tests: a Village with exponential service times
+and Poisson arrivals must match Erlang-C predictions, which validates
+the whole dispatch path (RQ, cores, scheduler) against theory.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def erlang_c(arrival_rate: float, service_rate: float, servers: int) -> float:
+    """Probability an arrival waits in an M/M/c queue."""
+    if servers < 1:
+        raise ValueError("servers must be >= 1")
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    a = arrival_rate / service_rate          # offered load (Erlangs)
+    rho = a / servers
+    if rho >= 1.0:
+        return 1.0
+    summation = sum(a ** k / math.factorial(k) for k in range(servers))
+    top = a ** servers / math.factorial(servers) / (1.0 - rho)
+    return top / (summation + top)
+
+
+def mmc_mean_wait(arrival_rate: float, service_rate: float,
+                  servers: int) -> float:
+    """Mean time in queue (excluding service) for M/M/c."""
+    rho = arrival_rate / (servers * service_rate)
+    if rho >= 1.0:
+        return float("inf")
+    pw = erlang_c(arrival_rate, service_rate, servers)
+    return pw / (servers * service_rate - arrival_rate)
+
+
+def mmc_mean_sojourn(arrival_rate: float, service_rate: float,
+                     servers: int) -> float:
+    """Mean time in system (queue + service) for M/M/c."""
+    return mmc_mean_wait(arrival_rate, service_rate, servers) \
+        + 1.0 / service_rate

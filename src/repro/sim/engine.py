@@ -1,0 +1,109 @@
+"""Event-heap simulation engine.
+
+The engine keeps a binary heap of ``(time, sequence, event)`` tuples.  The
+sequence number breaks ties so that events scheduled at the same timestamp
+fire in scheduling order, which keeps simulations deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (lazy removal from the heap)."""
+        self.cancelled = True
+
+
+class Engine:
+    """A discrete-event simulator with a nanosecond clock.
+
+    >>> eng = Engine()
+    >>> fired = []
+    >>> _ = eng.schedule(5.0, fired.append, "a")
+    >>> _ = eng.schedule(2.0, fired.append, "b")
+    >>> eng.run()
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self._running = False
+        self.events_processed: int = 0
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        ev = ScheduledEvent(self.now + delay, fn, args)
+        heapq.heappush(self._heap, (ev.time, self._seq, ev))
+        self._seq += 1
+        return ev
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` at an absolute timestamp ``time`` ns."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        ev = ScheduledEvent(time, fn, args)
+        heapq.heappush(self._heap, (ev.time, self._seq, ev))
+        self._seq += 1
+        return ev
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or None when idle."""
+        while self._heap:
+            time, __, ev = self._heap[0]
+            if ev.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the heap is empty."""
+        while self._heap:
+            time, __, ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.now = time
+            self.events_processed += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the heap drains, ``until`` ns, or ``max_events``."""
+        budget = max_events if max_events is not None else float("inf")
+        processed = 0
+        while processed < budget:
+            nxt = self.peek_time()
+            if nxt is None:
+                break
+            if until is not None and nxt > until:
+                self.now = until
+                break
+            self.step()
+            processed += 1
+
+    def spawn(self, generator, delay: float = 0.0) -> "Process":
+        """Start a generator-based process (see :mod:`repro.sim.process`)."""
+        from repro.sim.process import Process
+
+        proc = Process(self, generator)
+        self.schedule(delay, proc._advance, None)
+        return proc

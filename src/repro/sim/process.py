@@ -1,0 +1,108 @@
+"""Generator-based simulated processes.
+
+A process is a Python generator that yields *waitables*:
+
+* ``Timeout(delay)`` — resume after ``delay`` ns of simulated time.
+* ``Signal`` — resume when another process calls :meth:`Signal.fire`;
+  the value passed to ``fire`` becomes the result of the ``yield``.
+
+Example::
+
+    def handler(eng, sig):
+        yield Timeout(10.0)       # compute for 10 ns
+        response = yield sig      # block until the RPC response arrives
+        ...
+
+    eng.spawn(handler(eng, sig))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+class Timeout:
+    """Waitable: resume the process after ``delay`` ns."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        self.delay = delay
+
+
+class Signal:
+    """One-shot waitable carrying a value from the firer to the waiters.
+
+    A Signal may be fired before anyone waits on it; waiters arriving after
+    the fire resume immediately with the stored value.
+    """
+
+    __slots__ = ("fired", "value", "_waiters", "name")
+
+    def __init__(self, name: str = ""):
+        self.fired = False
+        self.value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+        self.name = name
+
+    def fire(self, engine, value: Any = None, delay: float = 0.0) -> None:
+        """Fire the signal, resuming all current and future waiters."""
+        if self.fired:
+            raise RuntimeError(f"signal {self.name!r} fired twice")
+        if delay > 0:
+            engine.schedule(delay, self._fire_now, engine, value)
+        else:
+            self._fire_now(engine, value)
+
+    def _fire_now(self, engine, value: Any) -> None:
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            engine.schedule(0.0, resume, value)
+
+    def _subscribe(self, engine, resume: Callable[[Any], None]) -> None:
+        if self.fired:
+            engine.schedule(0.0, resume, self.value)
+        else:
+            self._waiters.append(resume)
+
+
+class Process:
+    """Drives a generator, translating yielded waitables into engine events."""
+
+    __slots__ = ("engine", "generator", "finished", "result", "_done_signal")
+
+    def __init__(self, engine, generator):
+        self.engine = engine
+        self.generator = generator
+        self.finished = False
+        self.result: Any = None
+        self._done_signal: Optional[Signal] = None
+
+    @property
+    def done_signal(self) -> Signal:
+        """A Signal fired (with the process return value) on completion."""
+        if self._done_signal is None:
+            self._done_signal = Signal()
+            if self.finished:
+                self._done_signal.fire(self.engine, self.result)
+        return self._done_signal
+
+    def _advance(self, send_value: Any) -> None:
+        try:
+            waitable = self.generator.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            if self._done_signal is not None:
+                self._done_signal.fire(self.engine, self.result)
+            return
+        if isinstance(waitable, Timeout):
+            self.engine.schedule(waitable.delay, self._advance, None)
+        elif isinstance(waitable, Signal):
+            waitable._subscribe(self.engine, self._advance)
+        else:
+            raise TypeError(f"process yielded non-waitable {waitable!r}")

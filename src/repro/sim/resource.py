@@ -1,0 +1,106 @@
+"""Simulated resources with FIFO queueing.
+
+:class:`Resource` models a server (or ``capacity`` identical servers) that
+serves jobs one at a time; contention appears as queueing delay.  It is the
+building block for ICN links/routers, DRAM channels, software scheduler
+cores and NIC serialization points.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+
+class Resource:
+    """``capacity`` servers with a shared FIFO queue.
+
+    ``acquire(service_time, done)`` enqueues a job; ``done(start, finish)``
+    is called when the job completes service.  Utilization statistics are
+    tracked for reporting.
+    """
+
+    def __init__(self, engine, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.busy = 0
+        self._queue: Deque[Tuple[float, float, Callable]] = deque()
+        self.jobs_served = 0
+        self.busy_time = 0.0
+        self.wait_time_total = 0.0
+        self.max_queue_len = 0
+
+    def acquire(self, service_time: float, done: Callable[[float, float], None]) -> None:
+        """Request ``service_time`` ns of this resource; FIFO order."""
+        if service_time < 0:
+            raise ValueError(f"negative service time: {service_time}")
+        if self.busy < self.capacity:
+            self._start(self.engine.now, service_time, done)
+        else:
+            self._queue.append((self.engine.now, service_time, done))
+            if len(self._queue) > self.max_queue_len:
+                self.max_queue_len = len(self._queue)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def _start(self, arrival: float, service_time: float, done: Callable) -> None:
+        self.busy += 1
+        start = self.engine.now
+        self.wait_time_total += start - arrival
+        self.engine.schedule(service_time, self._finish, start, service_time, done)
+
+    def _finish(self, start: float, service_time: float, done: Callable) -> None:
+        self.busy -= 1
+        self.jobs_served += 1
+        self.busy_time += service_time
+        done(start, self.engine.now)
+        if self._queue and self.busy < self.capacity:
+            arrival, svc, cb = self._queue.popleft()
+            self._start(arrival, svc, cb)
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of server-time spent busy over ``elapsed`` ns."""
+        elapsed = elapsed if elapsed is not None else self.engine.now
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * self.capacity)
+
+
+class FifoQueue:
+    """An unbounded FIFO with blocking ``get`` for generator processes.
+
+    ``put(item)`` wakes at most one waiting getter.  Used for simple
+    producer/consumer plumbing in tests and examples.
+    """
+
+    def __init__(self, engine, name: str = ""):
+        self.engine = engine
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Callable[[Any], None]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            resume = self._getters.popleft()
+            self.engine.schedule(0.0, resume, item)
+        else:
+            self._items.append(item)
+
+    def get(self):
+        """Waitable for processes: ``item = yield queue.get()``."""
+        from repro.sim.process import Signal
+
+        sig = Signal(name=f"{self.name}.get")
+        if self._items:
+            sig.fire(self.engine, self._items.popleft())
+        else:
+            self._getters.append(lambda item, s=sig: s.fire(self.engine, item))
+        return sig

@@ -1,0 +1,27 @@
+"""Assembled systems: uManycore, ScaleOut, ServerClass, and the harness."""
+
+from repro.systems.cluster import ClusterSimulation, RunResult, simulate
+from repro.systems.configs import (
+    SCALEOUT,
+    SERVERCLASS,
+    SERVERCLASS_128,
+    UMANYCORE,
+    SystemConfig,
+    ablation_ladder,
+    umanycore_variant,
+)
+from repro.systems.server import Server
+
+__all__ = [
+    "SystemConfig",
+    "UMANYCORE",
+    "SCALEOUT",
+    "SERVERCLASS",
+    "SERVERCLASS_128",
+    "ablation_ladder",
+    "umanycore_variant",
+    "Server",
+    "ClusterSimulation",
+    "RunResult",
+    "simulate",
+]

@@ -1,0 +1,134 @@
+"""Multi-server cluster simulation harness (Section 5: 10-server machines).
+
+``simulate`` builds N identical servers behind an inter-server fabric and
+a shared storage tier, drives one application with Poisson arrivals at a
+given per-server load, and returns latency/throughput statistics with the
+warm-up window excluded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.metrics.latency import LatencyRecorder, LatencySummary
+from repro.net.fabric import FabricConfig, InterServerFabric, StorageBackend
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.systems.configs import SystemConfig
+from repro.systems.server import Server
+from repro.workloads.arrival import arrival_times, bursty_arrival_times
+from repro.workloads.spec import AppSpec
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulated run."""
+
+    system: str
+    app: str
+    rps_per_server: float
+    n_servers: int
+    duration_s: float
+    summary: LatencySummary
+    completed: int
+    rejected: int
+    offered: int
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / (self.duration_s * self.n_servers)
+
+    @property
+    def mean_ns(self) -> float:
+        return self.summary.mean
+
+    @property
+    def p99_ns(self) -> float:
+        return self.summary.p99
+
+
+class ClusterSimulation:
+    """Owns the engine, fabric, storage and servers for one run."""
+
+    def __init__(self, config: SystemConfig, app: AppSpec,
+                 rps_per_server: float, n_servers: int = 4,
+                 duration_s: float = 0.02, seed: int = 0,
+                 warmup_fraction: float = 0.25,
+                 fabric_config: Optional[FabricConfig] = None,
+                 arrivals: str = "poisson"):
+        if n_servers < 1:
+            raise ValueError("n_servers must be >= 1")
+        if not 0 <= warmup_fraction < 1:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if arrivals not in ("poisson", "bursty"):
+            raise ValueError(f"unknown arrival process {arrivals!r}")
+        self.arrivals = arrivals
+        self.config = config
+        self.app = app
+        self.rps_per_server = rps_per_server
+        self.n_servers = n_servers
+        self.duration_s = duration_s
+        self.warmup_fraction = warmup_fraction
+        self.engine = Engine()
+        self.streams = RngStreams(seed)
+        self.fabric = InterServerFabric(self.engine, n_servers, fabric_config)
+        self.storage = StorageBackend(self.engine,
+                                      self.streams.stream("storage"),
+                                      fabric_config)
+        apps: Dict[str, AppSpec] = {app.name: app}
+        self.servers = [
+            Server(self.engine, i, config, apps,
+                   self.streams.stream(f"server{i}"), self.fabric,
+                   self.storage)
+            for i in range(n_servers)]
+        for server in self.servers:
+            server.peers = self.servers
+        self.recorder = LatencyRecorder(name=f"{config.name}/{app.name}")
+        self.offered = 0
+        self.rejected = 0
+
+    def _schedule_arrivals(self) -> None:
+        generate = arrival_times if self.arrivals == "poisson" \
+            else bursty_arrival_times
+        for i, server in enumerate(self.servers):
+            rng = self.streams.stream(f"arrivals{i}")
+            for t in generate(self.rps_per_server, self.duration_s, rng):
+                self.offered += 1
+                self.engine.schedule_at(
+                    float(t), self._issue, server, float(t))
+
+    def _issue(self, server: Server, arrival_ns: float) -> None:
+        def done(rec) -> None:
+            if rec.rejected:
+                self.rejected += 1
+                return
+            self.recorder.record(self.engine.now, self.engine.now - arrival_ns)
+
+        server.client_request(self.app.name, done)
+
+    def run(self, max_events: Optional[int] = None) -> RunResult:
+        self._schedule_arrivals()
+        self.engine.run(max_events=max_events)
+        warmup_ns = self.warmup_fraction * self.duration_s * 1e9
+        summary = self.recorder.summary(after_ns=warmup_ns)
+        return RunResult(
+            system=self.config.name, app=self.app.name,
+            rps_per_server=self.rps_per_server, n_servers=self.n_servers,
+            duration_s=self.duration_s, summary=summary,
+            completed=len(self.recorder), rejected=self.rejected,
+            offered=self.offered)
+
+
+def simulate(config: SystemConfig, app: AppSpec, rps_per_server: float,
+             n_servers: int = 4, duration_s: float = 0.02, seed: int = 0,
+             warmup_fraction: float = 0.25,
+             fabric_config: Optional[FabricConfig] = None,
+             arrivals: str = "poisson") -> RunResult:
+    """One-call wrapper: build the cluster, run it, return the result."""
+    sim = ClusterSimulation(config, app, rps_per_server, n_servers,
+                            duration_s, seed, warmup_fraction, fabric_config,
+                            arrivals=arrivals)
+    return sim.run()

@@ -1,0 +1,550 @@
+"""One server: a processor (villages + ICN + NICs) running service instances.
+
+The Server implements the executor protocol consumed by
+:class:`repro.core.village.Village` and owns the full request lifecycle:
+
+* external ingress: fabric -> top-level NIC (ServiceMap round-robin) ->
+  NIC-to-leaf link -> on-package ICN -> village RQ (buffer/reject on
+  overflow);
+* compute segments timed by the analytic core+cache model, including
+  coherence-directory latency and resume-warmth penalties;
+* blocking calls: storage accesses leave through the village R-NIC and
+  the inter-server fabric; service calls route village-to-village over
+  the ICN (or cross-server through the fabric);
+* responses retrace the path and wake the blocked parent entry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.context_switch import SchedulerDomain
+from repro.core.request import RequestRecord
+from repro.core.village import Village
+from repro.cpu.coherence import CoherenceConfig, CoherenceModel
+from repro.cpu.core_model import CoreModel
+from repro.icn import FatTree, HierarchicalLeafSpine, Mesh2D, Network, \
+    NetworkConfig
+from repro.mem.mempool import MemoryPool
+from repro.net.fabric import InterServerFabric, StorageBackend
+from repro.net.nic import LNic, NicConfig, RNic, TopLevelNic
+from repro.sim.engine import Engine
+from repro.sim.resource import Resource
+from repro.systems.configs import SystemConfig
+from repro.workloads.spec import AppSpec, ServiceSpec
+
+REQUEST_BYTES = 512
+RESPONSE_BYTES = 512
+STORAGE_BYTES = 256
+RETRY_NS = 1000.0
+
+
+class Server:
+    """A single machine with one processor of the configured architecture."""
+
+    def __init__(self, engine: Engine, server_id: int, config: SystemConfig,
+                 apps: Dict[str, AppSpec], rng: np.random.Generator,
+                 fabric: InterServerFabric, storage: StorageBackend):
+        self.engine = engine
+        self.server_id = server_id
+        self.config = config
+        self.apps = apps
+        self.rng = rng
+        self.fabric = fabric
+        self.storage = storage
+        self.peers: List["Server"] = [self]
+        self.core_model = CoreModel(config.core)
+        # Section 8: heterogeneous villages — a spread subset of villages
+        # uses the beefier core type.
+        self._big_villages = set()
+        if config.big_village_fraction > 0:
+            n_big = int(round(config.n_queues * config.big_village_fraction))
+            stride = max(1, config.n_queues // max(1, n_big))
+            self._big_villages = set(
+                list(range(0, config.n_queues, stride))[:n_big])
+            self._big_core_model = CoreModel(config.big_core)
+        self.coherence = CoherenceModel(CoherenceConfig(
+            domain_cores=config.coherence_domain_cores,
+            total_cores=config.n_cores))
+        self._build_topology()
+        self._build_villages()
+        self._place_services()
+        self.retries = 0
+        self.rejected = 0
+        self._scaling = set()      # services with an instance boot in flight
+        self.instances_booted = 0
+
+    # -------------------------------------------------------------- build
+
+    def _build_topology(self) -> None:
+        cfg = self.config
+        if cfg.topology == "leafspine":
+            pods = 4 if cfg.n_clusters % 4 == 0 and cfg.n_clusters >= 4 else 1
+            topo = HierarchicalLeafSpine(
+                n_pods=pods, leaves_per_pod=cfg.n_clusters // pods)
+            self._leaf = lambda c: topo.leaf(c)
+        elif cfg.topology == "fattree":
+            n = 1 << max(1, (cfg.n_clusters - 1).bit_length())
+            topo = FatTree(n_leaves=n)
+            self._leaf = lambda c: topo.leaf(c)
+        else:  # mesh
+            cols = int(math.ceil(math.sqrt(cfg.n_clusters)))
+            rows = int(math.ceil(cfg.n_clusters / cols))
+            topo = Mesh2D(cols, rows)
+            self._leaf = lambda c: topo.tile(c % cols, c // cols)
+        self.topology = topo
+        net_cfg = NetworkConfig(hop_cycles=5.0, freq_ghz=cfg.core.freq_ghz,
+                                link_bytes_per_ns=cfg.link_bytes_per_ns,
+                                contention=cfg.icn_contention)
+        self.network = Network(self.engine, topo, net_cfg, rng=self.rng)
+        # Top-level NIC connects to every leaf NH (Figure 12): one
+        # injection/ejection link per cluster.
+        self._nic_links = [
+            Resource(self.engine, capacity=1, name=f"s{self.server_id}.nic-l{c}")
+            for c in range(cfg.n_clusters)]
+        self._nic_hop_ns = net_cfg.hop_latency_ns
+
+    def _build_villages(self) -> None:
+        cfg = self.config
+        nic_cfg = NicConfig(rpc_processing_ns=cfg.rpc_processing_ns)
+        self.top_nic = TopLevelNic(self.engine, nic_cfg,
+                                   name=f"s{self.server_id}.tnic",
+                                   dispatch=cfg.dispatch, rng=self.rng)
+        self.villages: List[Village] = []
+        self.lnics: List[LNic] = []
+        self.rnics: List[RNic] = []
+        rq_capacity = cfg.rq_capacity if cfg.hw_queues \
+            else max(cfg.rq_capacity, 100_000)  # software queues live in DRAM
+        # A centralized software scheduler is ONE instance per server
+        # (Section 4.4: Shinjuku on a dedicated core for the whole chip).
+        shared_dom = SchedulerDomain(
+            self.engine, cfg.cs, cfg.core.freq_ghz,
+            name=f"s{self.server_id}.sched", rng=self.rng) \
+            if cfg.cs.centralized and not cfg.per_queue_scheduler else None
+        from repro.sched.policies import get_policy
+
+        rq_policy = get_policy(cfg.rq_policy)
+        for v in range(cfg.n_queues):
+            dom = shared_dom or SchedulerDomain(
+                self.engine, cfg.cs, cfg.core.freq_ghz,
+                name=f"s{self.server_id}.v{v}", rng=self.rng)
+            village = Village(self.engine, v, cfg.cores_per_queue, dom, self,
+                              rq_capacity=rq_capacity,
+                              steal_overhead_ns=200.0,
+                              rq_policy=rq_policy,
+                              name=f"s{self.server_id}.v{v}")
+            self.villages.append(village)
+            self.lnics.append(LNic(self.engine, nic_cfg,
+                                   name=f"s{self.server_id}.v{v}.lnic"))
+            self.rnics.append(RNic(self.engine, nic_cfg,
+                                   name=f"s{self.server_id}.v{v}.rnic"))
+            cluster = self.village_cluster(v)
+            # A queue domain spanning k L2-villages has k I/O port pairs.
+            ports = max(1, cfg.cores_per_queue // cfg.cores_per_village)
+            self.topology.attach(self._village_node(v), self._leaf(cluster),
+                                 capacity=ports)
+        if cfg.work_steal:
+            peers_of = self.rng.permutation(cfg.n_queues)
+            for v, village in enumerate(self.villages):
+                others = [self.villages[int(p)] for p in peers_of
+                          if int(p) != v][:8]
+                village.steal_from = others
+                for other in others:
+                    other.stealers.append(village)
+        self.pools = [MemoryPool(self.engine, name=f"s{self.server_id}.pool{c}")
+                      for c in range(cfg.n_clusters)]
+
+    def _place_heterogeneous(self, names, services) -> None:
+        """Section 8: call-free (leaf) services on big villages, call-heavy
+        orchestration services on the many small ones."""
+        def is_leaf(name):
+            return all(c.is_storage for c in services[name].calls)
+
+        leaf_names = [n for n in names if is_leaf(n)] or list(names)
+        heavy_names = [n for n in names if not is_leaf(n)] or list(names)
+        big = sorted(self._big_villages)
+        small = [v for v in range(len(self.villages))
+                 if v not in self._big_villages]
+        for i, v in enumerate(big):
+            self.placement[leaf_names[i % len(leaf_names)]].append(v)
+        for i, v in enumerate(small):
+            self.placement[heavy_names[i % len(heavy_names)]].append(v)
+
+    def _village_node(self, v: int) -> str:
+        return f"s{self.server_id}.vil{v}"
+
+    def village_cluster(self, v: int) -> int:
+        per = max(1, self.config.n_queues // self.config.n_clusters)
+        return min(v // per, self.config.n_clusters - 1)
+
+    def _place_services(self) -> None:
+        """Spread service instances over villages; partition cores when
+        services must share a village (Section 4.1)."""
+        services: Dict[str, ServiceSpec] = {}
+        for app in self.apps.values():
+            services.update(app.services)
+        names = sorted(services)
+        n_queues = self.config.n_queues
+        self.placement: Dict[str, List[int]] = {name: [] for name in names}
+        if n_queues >= len(names):
+            if self._big_villages:
+                self._place_heterogeneous(names, services)
+            else:
+                # Dedicate villages to services, spread round-robin.
+                for i, village in enumerate(self.villages):
+                    name = names[i % len(names)]
+                    self.placement[name].append(i)
+        else:
+            # Few queue domains (software baselines): services co-locate
+            # and all cores of a domain serve any service.
+            for i, name in enumerate(names):
+                self.placement[name].append(i % n_queues)
+        for name, villages in self.placement.items():
+            for v in villages:
+                self.top_nic.register_instance(name, v)
+            for c in range(self.config.n_clusters):
+                self.pools[c].store_snapshot(name, 16 * 1024 * 1024)
+
+    # ---------------------------------------------------- executor protocol
+
+    def village_core_model(self, village_id: int) -> CoreModel:
+        if village_id in self._big_villages:
+            return self._big_core_model
+        return self.core_model
+
+    def segment_time_ns(self, rec: RequestRecord, core) -> float:
+        cfg = self.config
+        spec = self._service_spec(rec)
+        mem_cycles = (cfg.memory_latency_cycles
+                      + self.coherence.directory_roundtrip_cycles())
+        base = self.village_core_model(rec.village).segment_time_ns(
+            rec.current_segment_instructions, spec.profile,
+            cfg.l2_latency_cycles, mem_cycles)
+        # Software RPC stack: every segment starts by processing the
+        # message that woke it (request or response) on the core.
+        base += cfg.sw_rpc_core_ns
+        # Preemptive software scheduling: the dispatcher interrupts the
+        # segment every quantum; the check costs core cycles and loads
+        # the (possibly centralized) scheduler core.
+        if cfg.preempt_quantum_ns > 0:
+            quanta = math.ceil(base / cfg.preempt_quantum_ns)
+            per_check_ns = cfg.preempt_op_cycles / cfg.core.freq_ghz
+            base += quanta * per_check_ns
+            village = self.villages[rec.village]
+            village.scheduler.background_load(quanta * per_check_ns)
+        if rec.seg_index == 0 and not rec.has_run:
+            self._fetch_state(rec)
+        return base + self._resume_penalty_ns(rec, core)
+
+    def _fetch_state(self, rec: RequestRecord) -> None:
+        """Pull the invocation's read-mostly state over the ICN.
+
+        With villages + memory pools the state (snapshot, instance data)
+        sits in the local cluster's pool chiplet; with global coherence
+        it is interleaved across the die and the fetch crosses the
+        network fabric — the dominant contention source of Figure 7.
+        The fetch overlaps execution (its latency is folded into the
+        AMAT term); what matters here is the link occupancy it causes.
+        """
+        cfg = self.config
+        v = rec.village
+        dst = self._village_node(v)
+        n_msgs = 4
+        msg_bytes = max(64, cfg.state_bytes_per_invocation // n_msgs)
+        local_cluster = self.village_cluster(v)
+        rec._fetch_remaining = n_msgs
+        rec._fetch_cont = None
+
+        def arrived() -> None:
+            rec._fetch_remaining -= 1
+            if rec._fetch_remaining == 0 and rec._fetch_cont is not None:
+                village, core = rec._fetch_cont
+                rec._fetch_cont = None
+                self._segment_done_impl(rec, village, core)
+
+        for __ in range(n_msgs):
+            if self.rng.random() < cfg.local_state_fraction:
+                src_cluster = local_cluster
+            else:
+                src_cluster = int(self.rng.integers(cfg.n_clusters))
+            self.network.send(self._leaf(src_cluster), dst, msg_bytes, arrived)
+
+    def _resume_penalty_ns(self, rec: RequestRecord, core) -> float:
+        """Cache-warmth cost of resuming on a different core (Section 4.1)."""
+        if not rec.has_run or rec.last_core is None:
+            return 0.0
+        cfg = self.config
+        last_village, last_core = rec.last_core
+        here = (rec.village, core.core_id)
+        if (last_village, last_core) == here:
+            return 0.0
+        lines = cfg.resume_reload_lines
+        mlp = self.core_model.memory_level_parallelism()
+        freq = cfg.core.freq_ghz
+        same_l2 = self._global_core(last_village, last_core) // \
+            cfg.cores_per_village == self._global_core(*here) // \
+            cfg.cores_per_village
+        if same_l2:
+            per_line = cfg.l2_latency_cycles
+        elif self.coherence.is_global:
+            per_line = cfg.l2_latency_cycles + \
+                self.coherence.directory_roundtrip_cycles()
+        else:
+            per_line = cfg.memory_latency_cycles
+        return lines * per_line / freq / mlp
+
+    def _global_core(self, village: int, core_id: int) -> int:
+        return village * self.config.cores_per_queue + core_id
+
+    def segment_done(self, rec: RequestRecord, village: Village, core) -> None:
+        # Demand state fetch still in flight: the core stalls on it (the
+        # working set has not fully arrived).  Local-pool fetches finish
+        # under the compute; remote interleaved fetches may not.
+        if getattr(rec, "_fetch_remaining", 0) > 0:
+            rec._fetch_cont = (village, core)
+            return
+        self._segment_done_impl(rec, village, core)
+
+    def _segment_done_impl(self, rec: RequestRecord, village: Village,
+                           core) -> None:
+        if rec.is_last_segment:
+            village.finish(rec, core)
+            return
+        spec = self._service_spec(rec)
+        call = spec.calls[rec.seg_index]
+        village.block_for_call(rec, core)
+        if call.is_storage:
+            self._storage_access(rec, village)
+        else:
+            self._service_call(rec, village, call.target)
+
+    def _service_spec(self, rec: RequestRecord) -> ServiceSpec:
+        return self.apps[rec.app_name].services[rec.service]
+
+    # ------------------------------------------------------ blocking calls
+
+    def _coh_bytes(self, size: int) -> int:
+        """Coherence traffic inflates on-package message cost."""
+        return int(size * self.coherence.coherence_message_factor())
+
+    def _storage_access(self, rec: RequestRecord, village: Village) -> None:
+        """village -> leaf -> R-NIC -> fabric -> storage, and back."""
+        v = village.village_id
+        node = self._village_node(v)
+        leaf = self._leaf(self.village_cluster(v))
+
+        def resume(latency_ns: float = 0.0) -> None:
+            rec.advance_segment()
+            village.make_ready(rec)
+
+        def back_on_package() -> None:
+            self.network.send(leaf, node, self._coh_bytes(STORAGE_BYTES),
+                              resume)
+
+        def storage_done(latency_ns: float) -> None:
+            self.fabric.send(self.server_id, self.server_id, STORAGE_BYTES,
+                             back_on_package)
+
+        def at_rnic() -> None:
+            self.rnics[v].process(
+                STORAGE_BYTES,
+                lambda: self.fabric.send(self.server_id, self.server_id,
+                                         STORAGE_BYTES,
+                                         lambda: self.storage.access(
+                                             storage_done)))
+
+        self.network.send(node, leaf, self._coh_bytes(STORAGE_BYTES), at_rnic)
+
+    def _service_call(self, rec: RequestRecord, village: Village,
+                      target: str) -> None:
+        """Synchronous downstream RPC; parent resumes on the response."""
+        if len(self.peers) == 1 or self.rng.random() < self.config.locality:
+            callee = self
+        else:
+            others = [p for p in self.peers if p is not self]
+            callee = others[int(self.rng.integers(len(others)))]
+
+        def respond(child: RequestRecord) -> None:
+            self._deliver_response(callee, child, village, rec)
+
+        child = self._make_request(rec.app_name, target, respond,
+                                   depth=rec.depth + 1)
+        src_node = self._village_node(village.village_id)
+        if callee is self:
+            dst_village = self.top_nic.pick_village(target)
+            self.lnics[village.village_id].process(
+                REQUEST_BYTES,
+                lambda: self.network.send(
+                    src_node, self._village_node(dst_village),
+                    self._coh_bytes(REQUEST_BYTES),
+                    lambda: self._submit_with_retry(child, dst_village)))
+        else:
+            v = village.village_id
+            leaf = self._leaf(self.village_cluster(v))
+            self.network.send(
+                src_node, leaf, self._coh_bytes(REQUEST_BYTES),
+                lambda: self.rnics[v].process(
+                    REQUEST_BYTES,
+                    lambda: self.fabric.send(
+                        self.server_id, callee.server_id, REQUEST_BYTES,
+                        lambda: callee.ingress_internal(child))))
+
+    def _deliver_response(self, callee: "Server", child: RequestRecord,
+                          parent_village: Village,
+                          parent: RequestRecord) -> None:
+        """Send a child's response back to the waiting parent."""
+
+        def resume() -> None:
+            parent.advance_segment()
+            parent_village.make_ready(parent)
+
+        child_node = callee._village_node(child.village)
+        if callee is self:
+            self.network.send(child_node,
+                              self._village_node(parent_village.village_id),
+                              self._coh_bytes(RESPONSE_BYTES), resume)
+        else:
+            child_leaf = callee._leaf(callee.village_cluster(child.village))
+            callee.network.send(
+                child_node, child_leaf, callee._coh_bytes(RESPONSE_BYTES),
+                lambda: callee.fabric.send(
+                    callee.server_id, self.server_id, RESPONSE_BYTES,
+                    lambda: self.network.send(
+                        self._leaf(self.village_cluster(
+                            parent_village.village_id)),
+                        self._village_node(parent_village.village_id),
+                        self._coh_bytes(RESPONSE_BYTES), resume)))
+
+    # ------------------------------------------------------------- ingress
+
+    def _make_request(self, app_name: str, service: str,
+                      on_complete: Callable[[RequestRecord], None],
+                      depth: int = 0) -> RequestRecord:
+        spec = self.apps[app_name].services[service]
+        return RequestRecord(
+            app_name=app_name, service=service,
+            segments=spec.sample_segments(self.rng),
+            on_complete=on_complete, arrival_ns=self.engine.now, depth=depth,
+            server=self.server_id)
+
+    def _submit_with_retry(self, rec: RequestRecord, village_id: int,
+                           attempt: int = 0) -> None:
+        """Internal requests back-pressure (NIC buffering) instead of
+        being dropped.  After a few attempts the request is admitted as a
+        soft (NIC-buffered) entry: a child RPC can never be dropped, and
+        waiting indefinitely for a slot would deadlock call trees whose
+        blocked parents hold all the slots."""
+        if self.villages[village_id].submit(rec):
+            return
+        self._maybe_scale(rec.service)
+        self.retries += 1
+        if attempt >= 4:
+            self.villages[village_id].submit_soft(rec)
+            return
+        self.engine.schedule(RETRY_NS * (attempt + 1),
+                             self._submit_with_retry, rec, village_id,
+                             attempt + 1)
+
+    def ingress_internal(self, rec: RequestRecord) -> None:
+        """A request arriving from a peer server for a local instance."""
+        self.top_nic.process(REQUEST_BYTES, lambda: self._dispatch_external(
+            rec, internal=True))
+
+    def client_request(self, app_name: str,
+                       on_done: Callable[[RequestRecord], None]) -> None:
+        """External request from a client outside the cluster."""
+        app = self.apps[app_name]
+
+        def respond(rec: RequestRecord) -> None:
+            # Egress: village -> leaf -> NIC link -> top NIC -> fabric.
+            v = rec.village
+            leaf = self._leaf(self.village_cluster(v))
+            self.network.send(
+                self._village_node(v), leaf,
+                self._coh_bytes(RESPONSE_BYTES),
+                lambda: self._nic_links[self.village_cluster(v)].acquire(
+                    self._nic_hop_ns,
+                    lambda s, f: self.top_nic.process(
+                        RESPONSE_BYTES,
+                        lambda: self.fabric.send(self.server_id,
+                                                 self.server_id,
+                                                 RESPONSE_BYTES,
+                                                 lambda: on_done(rec)))))
+
+        rec = self._make_request(app_name, app.root, respond)
+        self.fabric.send(
+            self.server_id, self.server_id, REQUEST_BYTES,
+            lambda: self.top_nic.process(
+                REQUEST_BYTES,
+                lambda: self._dispatch_external(rec, internal=False,
+                                                on_reject=on_done)))
+
+    def _dispatch_external(self, rec: RequestRecord, internal: bool,
+                           on_reject: Optional[Callable] = None) -> None:
+        village_id = self.top_nic.pick_village(rec.service)
+        cluster = self.village_cluster(village_id)
+
+        def deliver() -> None:
+            if self.villages[village_id].submit(rec):
+                return
+            self._maybe_scale(rec.service)
+            if internal:
+                self._submit_with_retry(rec, village_id, attempt=1)
+            elif self.top_nic.try_buffer(rec):
+                self.engine.schedule(RETRY_NS, self._retry_buffered,
+                                     rec, village_id, on_reject)
+            else:
+                self.rejected += 1
+                rec.rejected = True
+                rec.finish_ns = self.engine.now
+                if on_reject is not None:
+                    on_reject(rec)
+
+        self._nic_links[cluster].acquire(
+            self._nic_hop_ns,
+            lambda s, f: self.network.send(
+                self._leaf(cluster), self._village_node(village_id),
+                self._coh_bytes(REQUEST_BYTES), deliver))
+
+    def _maybe_scale(self, service: str) -> None:
+        """Section 4.1: when a village fills to capacity, boot another
+        instance of the service in a different village from its snapshot
+        in that cluster's memory pool."""
+        if not self.config.auto_scale or service in self._scaling:
+            return
+        hosting = set(self.placement[service])
+        candidates = sorted(
+            (v for v in range(len(self.villages)) if v not in hosting),
+            key=lambda v: self.villages[v].rq.occupancy)
+        if not candidates:
+            return
+        target = candidates[0]
+        self._scaling.add(service)
+        pool = self.pools[self.village_cluster(target)]
+
+        def booted(boot_ns: float) -> None:
+            self.placement[service].append(target)
+            self.top_nic.register_instance(service, target)
+            self._scaling.discard(service)
+            self.instances_booted += 1
+
+        pool.boot_instance(service, booted)
+
+    def _retry_buffered(self, rec: RequestRecord, village_id: int,
+                        on_reject) -> None:
+        buffered = self.top_nic.drain_buffered()
+        if buffered is None:
+            return
+        if not self.villages[village_id].submit(buffered):
+            # Keep back-pressuring; the RQ will drain.
+            self._submit_with_retry(buffered, village_id, attempt=1)
+
+    # --------------------------------------------------------------- stats
+
+    def utilization(self) -> float:
+        total = sum(c.busy_ns for v in self.villages for c in v.cores)
+        elapsed = self.engine.now * self.config.n_cores
+        return total / elapsed if elapsed > 0 else 0.0

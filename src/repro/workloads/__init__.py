@@ -1,0 +1,21 @@
+"""Workload generators: service graphs, arrivals, and trace statistics."""
+
+from repro.workloads.alibaba import AlibabaTraceGenerator
+from repro.workloads.arrival import PoissonArrivals, arrival_times
+from repro.workloads.deathstar import SOCIAL_NETWORK_APPS, social_network_app
+from repro.workloads.spec import STORAGE, AppSpec, CallSpec, ServiceSpec
+from repro.workloads.synthetic import SYNTHETIC_DISTRIBUTIONS, synthetic_app
+
+__all__ = [
+    "ServiceSpec",
+    "CallSpec",
+    "AppSpec",
+    "STORAGE",
+    "PoissonArrivals",
+    "arrival_times",
+    "SOCIAL_NETWORK_APPS",
+    "social_network_app",
+    "synthetic_app",
+    "SYNTHETIC_DISTRIBUTIONS",
+    "AlibabaTraceGenerator",
+]

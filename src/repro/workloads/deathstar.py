@@ -1,0 +1,114 @@
+"""DeathStarBench SocialNetwork service graphs.
+
+The paper evaluates the 8 SocialNetwork request types of DeathStarBench
+(Figure 14): Text, SGraph, User, PstStr, UsrMnt, HomeT, CPost, UrlShort.
+We model each as an :class:`~repro.workloads.spec.AppSpec` rooted at the
+corresponding service, over a shared pool of services whose fanout and
+compute are calibrated to the paper's characterization: the average
+request executes ~120 us of compute and performs ~3.1 RPC invocations
+(Section 3.3), with CPost the heaviest orchestration and UrlShort the
+lightest (Figures 14/19).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.spec import STORAGE, AppSpec, CallSpec, ServiceSpec
+
+K = 1000.0
+
+
+def _storage(n: int = 1):
+    return tuple(CallSpec(STORAGE) for __ in range(n))
+
+
+#: Shared service pool (SocialNetwork microservices).
+SERVICES: Dict[str, ServiceSpec] = {
+    spec.name: spec
+    for spec in [
+        ServiceSpec("urlshorten", segment_instructions=225 * K,
+                    calls=_storage(1)),
+        ServiceSpec("usermention", segment_instructions=150 * K,
+                    calls=_storage(1)),
+        ServiceSpec("userservice", segment_instructions=175 * K,
+                    calls=_storage(1)),
+        ServiceSpec("poststorage", segment_instructions=175 * K,
+                    calls=_storage(1)),
+        ServiceSpec("socialgraph", segment_instructions=150 * K,
+                    calls=_storage(2)),
+        ServiceSpec("text", segment_instructions=150 * K,
+                    calls=(CallSpec("urlshorten"), CallSpec("usermention"))),
+        ServiceSpec("hometimeline", segment_instructions=125 * K,
+                    calls=(CallSpec("socialgraph"), CallSpec("poststorage"),
+                           CallSpec(STORAGE))),
+        ServiceSpec("composepost", segment_instructions=150 * K,
+                    calls=(CallSpec("text"), CallSpec("userservice"),
+                           CallSpec("poststorage"), CallSpec(STORAGE))),
+    ]
+}
+
+#: Figure label -> root service of that request type.
+APP_ROOTS: Dict[str, str] = {
+    "Text": "text",
+    "SGraph": "socialgraph",
+    "User": "userservice",
+    "PstStr": "poststorage",
+    "UsrMnt": "usermention",
+    "HomeT": "hometimeline",
+    "CPost": "composepost",
+    "UrlShort": "urlshorten",
+}
+
+
+def _reachable(root: str) -> Dict[str, ServiceSpec]:
+    out: Dict[str, ServiceSpec] = {}
+
+    def visit(name: str):
+        if name in out:
+            return
+        spec = SERVICES[name]
+        out[name] = spec
+        for call in spec.calls:
+            if not call.is_storage:
+                visit(call.target)
+
+    visit(root)
+    return out
+
+
+def social_network_app(label: str, compute_scale: float = 1.0,
+                       segment_cv: float = None) -> AppSpec:
+    """Build the AppSpec for one of the 8 request types by figure label.
+
+    ``compute_scale`` multiplies every service's per-segment instruction
+    count; the characterization experiments (Figures 3, 6, 7) use heavier
+    requests to reach the utilizations the paper reports at 50K RPS.
+    ``segment_cv`` overrides the per-segment variability (e.g. the
+    queue-granularity study uses a tight 0.3 so queueing effects are not
+    masked by intrinsic service-time spread).
+    """
+    if label not in APP_ROOTS:
+        raise KeyError(f"unknown SocialNetwork app {label!r}; "
+                       f"expected one of {sorted(APP_ROOTS)}")
+    if compute_scale <= 0:
+        raise ValueError("compute_scale must be positive")
+    root = APP_ROOTS[label]
+    services = _reachable(root)
+    if compute_scale != 1.0 or segment_cv is not None:
+        from dataclasses import replace
+        overrides = {}
+        if segment_cv is not None:
+            overrides["segment_cv"] = segment_cv
+        services = {
+            name: replace(spec, segment_instructions=
+                          spec.segment_instructions * compute_scale,
+                          **overrides)
+            for name, spec in services.items()}
+    return AppSpec(name=label, root=root, services=services)
+
+
+#: All 8 request types, in the paper's figure order.
+SOCIAL_NETWORK_APPS: Dict[str, AppSpec] = {
+    label: social_network_app(label) for label in APP_ROOTS
+}

@@ -1,0 +1,82 @@
+"""uSuite-style synthetic workloads (Section 5, Figure 20).
+
+"Like prior work [Shinjuku], we also use synthetic benchmarks with three
+service time distributions (exponential, lognormal, and bimodal) and 2-6
+blocking calls during the execution."
+
+A synthetic app is a single service whose total compute is drawn from the
+chosen distribution and split across the segments between blocking
+storage calls.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.workloads.spec import STORAGE, AppSpec, CallSpec, ServiceSpec
+
+#: The three distributions of Figure 20.
+SYNTHETIC_DISTRIBUTIONS = ("exponential", "lognormal", "bimodal")
+
+
+@dataclass(frozen=True)
+class SyntheticServiceSpec(ServiceSpec):
+    """ServiceSpec whose per-request compute follows a named distribution.
+
+    ``segment_instructions`` is the mean *total* instructions per request
+    divided by the number of segments; sampling replaces the lognormal
+    segment model with the requested distribution of the total.
+    """
+
+    distribution: str = "exponential"
+    bimodal_ratio: float = 10.0        # slow mode is 10x the fast mode
+    bimodal_slow_frac: float = 0.1     # 10% of requests are slow
+
+    def sample_segments(self, rng: np.random.Generator):
+        n = self.n_segments
+        mean_total = self.segment_instructions * n
+        if self.distribution == "exponential":
+            total = rng.exponential(mean_total)
+        elif self.distribution == "lognormal":
+            sigma2 = math.log(1.0 + 1.0)       # CV = 1
+            mu = math.log(mean_total) - sigma2 / 2.0
+            total = rng.lognormal(mu, math.sqrt(sigma2))
+        elif self.distribution == "bimodal":
+            # mean = f*r*x + (1-f)*x  =>  x = mean / (1 + f*(r-1))
+            fast = mean_total / (1.0 + self.bimodal_slow_frac
+                                 * (self.bimodal_ratio - 1.0))
+            slow = fast * self.bimodal_ratio
+            total = slow if rng.random() < self.bimodal_slow_frac else fast
+        else:
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+        total = max(total, 1000.0)
+        return [total / n] * n
+
+
+def synthetic_app(distribution: str, mean_service_us: float = 50.0,
+                  blocking_calls: int = 4, freq_ghz: float = 2.0,
+                  cpi: float = 0.5) -> AppSpec:
+    """Build a single-service synthetic app.
+
+    ``mean_service_us`` is the mean total compute time per request on a
+    reference core (``freq_ghz``/``cpi`` convert it to instructions);
+    ``blocking_calls`` in [2, 6] per the paper.
+    """
+    if distribution not in SYNTHETIC_DISTRIBUTIONS:
+        raise ValueError(f"unknown distribution {distribution!r}")
+    if not 2 <= blocking_calls <= 6:
+        raise ValueError("the paper uses 2-6 blocking calls")
+    total_instr = mean_service_us * 1000.0 * freq_ghz / cpi
+    n_segments = blocking_calls + 1
+    spec = SyntheticServiceSpec(
+        name=f"synthetic-{distribution}",
+        segment_instructions=total_instr / n_segments,
+        calls=tuple(CallSpec(STORAGE) for __ in range(blocking_calls)),
+        distribution=distribution,
+    )
+    return AppSpec(name=f"Syn-{distribution}", root=spec.name,
+                   services={spec.name: spec})

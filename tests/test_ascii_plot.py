@@ -1,0 +1,46 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.experiments.ascii_plot import bar_chart, sparkline
+
+
+def test_bar_chart_scales_to_max():
+    out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+    lines = out.splitlines()
+    assert lines[0].count("#") == 5
+    assert lines[1].count("#") == 10
+    assert "2.00" in lines[1]
+
+
+def test_bar_chart_title_and_alignment():
+    out = bar_chart(["x", "long"], [1, 1], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].startswith("   x |")
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        bar_chart([], [])
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [-1.0])
+
+
+def test_sparkline_monotone():
+    s = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+    assert len(s) == 8
+    assert s[0] == "▁" and s[-1] == "█"
+
+
+def test_sparkline_flat_and_empty():
+    assert sparkline([3, 3, 3]) == "▁▁▁"
+    with pytest.raises(ValueError):
+        sparkline([])
+
+
+def test_sparkline_explicit_bounds():
+    s = sparkline([5.0], lo=0.0, hi=10.0)
+    assert s in "▁▂▃▄▅▆▇█"

@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import SYSTEMS, _resolve_app, build_parser, main
+
+
+def test_parser_simulate_defaults():
+    args = build_parser().parse_args(["simulate", "--system", "umanycore"])
+    assert args.system == "umanycore"
+    assert args.app == "Text"
+    assert args.arrivals == "poisson"
+
+
+def test_parser_rejects_unknown_system():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["simulate", "--system", "cray"])
+
+
+def test_resolve_app():
+    assert _resolve_app("Text").name == "Text"
+    assert _resolve_app("bimodal").name == "Syn-bimodal"
+    with pytest.raises(SystemExit):
+        _resolve_app("nope")
+
+
+def test_list_command(capsys):
+    main(["list"])
+    out = capsys.readouterr().out
+    assert "umanycore" in out and "CPost" in out and "fig14" in out
+
+
+def test_simulate_command(capsys):
+    main(["simulate", "--system", "umanycore", "--app", "UrlShort",
+          "--rps", "2000", "--servers", "1", "--duration", "0.008"])
+    out = capsys.readouterr().out
+    assert "P50 / P99" in out and "uManycore" in out
+
+
+def test_experiment_command_power(capsys):
+    main(["experiment", "power"])
+    out = capsys.readouterr().out
+    assert "iso-power ServerClass cores: 40" in out
+
+
+def test_systems_table_complete():
+    assert set(SYSTEMS) == {"umanycore", "scaleout", "serverclass",
+                            "serverclass128"}

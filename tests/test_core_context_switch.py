@@ -1,0 +1,78 @@
+"""Tests for context-switch / scheduler-overhead models."""
+
+import pytest
+
+from repro.core import (
+    CS_PRESETS,
+    HARDWARE_CS,
+    LINUX_CS,
+    SHINJUKU_CS,
+    ContextSwitchConfig,
+    SchedulerDomain,
+)
+from repro.sim import Engine
+
+
+def test_preset_costs_match_paper():
+    """Section 3.3: ~5K cycles for Linux, ~2K for software schedulers,
+    128-256 for the hardware target."""
+    assert LINUX_CS.switch_cycles == pytest.approx(5000)
+    assert SHINJUKU_CS.switch_cycles == pytest.approx(2000)
+    assert 128 <= HARDWARE_CS.switch_cycles <= 256
+    assert set(CS_PRESETS) == {"hardware", "shinjuku", "shenango", "zygos",
+                               "linux"}
+
+
+def test_scaled_keeps_regime_changes_cost():
+    cfg = SHINJUKU_CS.scaled(4096)
+    assert cfg.switch_cycles == pytest.approx(4096)
+    assert cfg.centralized == SHINJUKU_CS.centralized
+
+
+def test_save_restore_timing():
+    eng = Engine()
+    dom = SchedulerDomain(eng, HARDWARE_CS, freq_ghz=2.0)
+    times = []
+    dom.charge_save(lambda: times.append(eng.now))
+    eng.run()
+    assert times == [pytest.approx(64 / 2.0)]
+    dom.charge_restore(lambda: times.append(eng.now))
+    eng.run()
+    assert times[1] == pytest.approx(64 / 2.0 + 64 / 2.0)
+    assert dom.switches == 1
+
+
+def test_hardware_scheduler_op_is_free_and_synchronous():
+    eng = Engine()
+    dom = SchedulerDomain(eng, HARDWARE_CS, freq_ghz=2.0)
+    fired = []
+    dom.scheduler_op(lambda: fired.append(eng.now))
+    assert fired == [0.0]   # immediate, no event needed
+
+
+def test_centralized_scheduler_serializes_ops():
+    eng = Engine()
+    dom = SchedulerDomain(eng, SHINJUKU_CS, freq_ghz=2.0)
+    op_ns = SHINJUKU_CS.scheduler_op_cycles / 2.0
+    done = []
+    for __ in range(3):
+        dom.scheduler_op(lambda: done.append(eng.now))
+    eng.run()
+    assert done == [pytest.approx(op_ns * (i + 1)) for i in range(3)]
+    assert dom.scheduler_utilization() > 0
+
+
+def test_distributed_software_ops_do_not_serialize():
+    eng = Engine()
+    dom = SchedulerDomain(eng, LINUX_CS, freq_ghz=2.0)
+    op_ns = LINUX_CS.scheduler_op_cycles / 2.0
+    done = []
+    for __ in range(3):
+        dom.scheduler_op(lambda: done.append(eng.now))
+    eng.run()
+    assert done == [pytest.approx(op_ns)] * 3
+
+
+def test_invalid_frequency():
+    with pytest.raises(ValueError):
+        SchedulerDomain(Engine(), HARDWARE_CS, freq_ghz=0)

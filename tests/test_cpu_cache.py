@@ -1,0 +1,152 @@
+"""Unit + property tests for the functional cache and TLB."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.cache import InsertionPolicy, SetAssociativeCache
+from repro.cpu.tlb import Tlb
+
+
+def make_cache(size=1024, assoc=2, line=64):
+    return SetAssociativeCache(size, assoc, line)
+
+
+def test_first_access_misses_then_hits():
+    c = make_cache()
+    assert c.access(0) is False
+    assert c.access(0) is True
+    assert c.access(63) is True          # same line
+    assert c.access(64) is False         # next line
+    assert c.stats.accesses == 4 and c.stats.hits == 2
+
+
+def test_lru_eviction_within_set():
+    # 1024B/2-way/64B -> 8 sets; addresses 64*8 apart map to the same set.
+    c = make_cache()
+    stride = 64 * 8
+    c.access(0 * stride)
+    c.access(1 * stride)
+    c.access(0 * stride)        # refresh line 0 -> line 1 is now LRU
+    c.access(2 * stride)        # evicts line 1
+    assert c.access(0 * stride) is True
+    assert c.access(1 * stride) is False
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        SetAssociativeCache(1000, 3, 64)
+
+
+def test_prefetch_fills_without_counting_access():
+    c = make_cache()
+    assert c.prefetch(0) is True
+    assert c.stats.accesses == 0
+    assert c.access(0) is True
+    assert c.stats.useful_prefetches == 1
+    assert c.prefetch(0) is False  # already present
+
+
+def test_useful_prefetch_counted_once():
+    c = make_cache()
+    c.prefetch(0)
+    c.access(0)
+    c.access(0)
+    assert c.stats.useful_prefetches == 1
+
+
+def test_transient_insertion_policy_evicted_first():
+    class Transient128(InsertionPolicy):
+        def is_transient(self, line_addr):
+            return line_addr == 128 // 64 * 8  # line of addr 128*8... see below
+
+    # Use a direct check instead: mark the line of `victim_addr` transient.
+    stride = 64 * 8
+    victim_addr = 1 * stride
+
+    class Policy(InsertionPolicy):
+        def is_transient(self, line_addr):
+            return line_addr == victim_addr // 64
+
+    c = SetAssociativeCache(1024, 2, 64, policy=Policy())
+    c.access(0 * stride)          # normal line
+    c.access(victim_addr)         # transient -> parked at LRU
+    c.access(2 * stride)          # evicts the transient line, not line 0
+    assert c.access(0 * stride) is True
+    assert c.access(victim_addr) is False
+
+
+def test_flush_invalidates_but_keeps_stats():
+    c = make_cache()
+    c.access(0)
+    c.flush()
+    assert c.access(0) is False
+    assert c.stats.accesses == 2
+
+
+def test_mpki():
+    c = make_cache()
+    for addr in range(0, 64 * 20, 64):
+        c.access(addr)  # 20 cold misses
+    assert c.stats.mpki(20_000) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        c.stats.mpki(0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_occupancy_never_exceeds_capacity(addresses):
+    c = SetAssociativeCache(512, 2, 64)
+    for a in addresses:
+        c.access(a)
+    assert c.occupancy <= 512 // 64
+    for s in c._sets:
+        assert len(s) <= 2
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_hits_plus_misses_equals_accesses(addresses):
+    c = SetAssociativeCache(1024, 4, 64)
+    for a in addresses:
+        c.access(a)
+    assert c.stats.hits + c.stats.misses == c.stats.accesses == len(addresses)
+
+
+@given(st.integers(min_value=0, max_value=1 << 24))
+@settings(max_examples=50, deadline=None)
+def test_repeated_access_always_hits(addr):
+    c = make_cache()
+    c.access(addr)
+    assert c.access(addr) is True
+
+
+def test_fully_associative_cache_is_exact_lru():
+    c = SetAssociativeCache(4 * 64, 4, 64)  # one set, 4 ways
+    for i in range(4):
+        c.access(i * 64)
+    c.access(0)            # order now 1,2,3,0 (LRU..MRU)
+    c.access(4 * 64)       # evicts 1
+    assert c.access(64) is False
+    # after the two fills above the set is 3,0,4,1 -> accessing 2 misses too
+    assert c.contains(0)
+
+
+def test_tlb_hit_within_page():
+    t = Tlb(entries=16, assoc=4)
+    assert t.access(0) is False
+    assert t.access(100) is True        # same 4K page
+    assert t.access(4096) is False      # next page
+    assert t.stats.accesses == 3
+
+
+def test_tlb_capacity_eviction():
+    t = Tlb(entries=4, assoc=4)
+    for p in range(5):
+        t.access(p * 4096)
+    assert t.access(0) is False  # evicted (LRU)
+
+
+def test_tlb_invalid_geometry():
+    with pytest.raises(ValueError):
+        Tlb(entries=2, assoc=4)

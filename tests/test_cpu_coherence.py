@@ -1,0 +1,54 @@
+"""Tests for the coherence-domain model."""
+
+import pytest
+
+from repro.cpu.coherence import CoherenceConfig, CoherenceModel
+
+
+def village(cores=8):
+    return CoherenceModel(CoherenceConfig(domain_cores=cores, total_cores=1024))
+
+
+def global_domain():
+    return CoherenceModel(CoherenceConfig(domain_cores=1024, total_cores=1024))
+
+
+def test_global_vs_village_classification():
+    assert global_domain().is_global
+    assert not village().is_global
+
+
+def test_village_directory_is_local():
+    assert village().directory_roundtrip_cycles() == pytest.approx(2.0)
+
+
+def test_global_directory_pays_icn_hops():
+    v = village().directory_roundtrip_cycles()
+    g = global_domain().directory_roundtrip_cycles()
+    assert g > 10 * v
+
+
+def test_directory_latency_monotone_in_domain_size():
+    sizes = [8, 32, 128, 512, 1024]
+    lats = [CoherenceModel(CoherenceConfig(s, 1024)).directory_roundtrip_cycles()
+            for s in sizes]
+    assert lats == sorted(lats)
+
+
+def test_resume_warmth_ordering():
+    v, g = village(), global_domain()
+    assert v.resume_warm_fraction(same_village=True) > g.resume_warm_fraction(False)
+    assert g.resume_warm_fraction(False) > v.resume_warm_fraction(False) == 0.0
+
+
+def test_coherence_traffic_factor():
+    assert village().coherence_message_factor() == 1.0
+    g = global_domain().coherence_message_factor()
+    assert 1.0 < g <= 2.0
+
+
+def test_invalid_domain_rejected():
+    with pytest.raises(ValueError):
+        CoherenceConfig(domain_cores=0, total_cores=8)
+    with pytest.raises(ValueError):
+        CoherenceConfig(domain_cores=16, total_cores=8)

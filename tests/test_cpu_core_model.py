@@ -1,0 +1,84 @@
+"""Tests for the analytic core timing model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.core_model import (
+    SCALEOUT_CORE,
+    SERVERCLASS_CORE,
+    UMANYCORE_CORE,
+    CoreConfig,
+    CoreModel,
+    SegmentProfile,
+)
+
+
+def test_table2_configs():
+    assert UMANYCORE_CORE.issue_width == 4 and UMANYCORE_CORE.rob_entries == 64
+    assert UMANYCORE_CORE.freq_ghz == 2.0
+    assert SERVERCLASS_CORE.issue_width == 6 and SERVERCLASS_CORE.rob_entries == 352
+    assert SERVERCLASS_CORE.freq_ghz == 3.0
+    assert SCALEOUT_CORE == CoreConfig("scaleout", 4, 64, 64, 2.0)
+
+
+def test_cpi_floor_is_issue_width_limit():
+    m = CoreModel(UMANYCORE_CORE)
+    perfect = SegmentProfile(ilp=100.0, l1_mpki=0.0, l2_miss_fraction=0.0,
+                             branch_misp_mpki=0.0)
+    assert m.effective_cpi(perfect) == pytest.approx(1.0 / 4)
+
+
+def test_ilp_limits_cpi_when_below_issue_width():
+    m = CoreModel(SERVERCLASS_CORE)
+    narrow = SegmentProfile(ilp=2.0, l1_mpki=0.0, l2_miss_fraction=0.0,
+                            branch_misp_mpki=0.0)
+    assert m.effective_cpi(narrow) == pytest.approx(0.5)
+
+
+def test_bigger_rob_hides_more_memory_latency():
+    profile = SegmentProfile(ilp=3.0, l1_mpki=20.0, l2_miss_fraction=0.5)
+    small = CoreModel(UMANYCORE_CORE).effective_cpi(profile)
+    big = CoreModel(SERVERCLASS_CORE).effective_cpi(profile)
+    # ServerClass has wider issue AND more MLP -> lower CPI on memory-bound code.
+    assert big < small
+
+
+def test_server_core_faster_per_segment_but_same_order():
+    profile = SegmentProfile()
+    t_server = CoreModel(SERVERCLASS_CORE).segment_time_ns(10_000, profile)
+    t_many = CoreModel(UMANYCORE_CORE).segment_time_ns(10_000, profile)
+    assert t_server < t_many < 4 * t_server
+
+
+def test_segment_time_scales_linearly_with_instructions():
+    m = CoreModel(UMANYCORE_CORE)
+    p = SegmentProfile()
+    assert m.segment_time_ns(2000, p) == pytest.approx(2 * m.segment_time_ns(1000, p))
+
+
+def test_negative_instructions_rejected():
+    with pytest.raises(ValueError):
+        CoreModel(UMANYCORE_CORE).segment_time_ns(-1, SegmentProfile())
+
+
+def test_cycle_time_conversions_roundtrip():
+    m = CoreModel(UMANYCORE_CORE)
+    assert m.cycles_to_ns(2000) == pytest.approx(1000.0)   # 2 GHz
+    assert m.ns_to_cycles(m.cycles_to_ns(123.0)) == pytest.approx(123.0)
+
+
+@given(
+    l1_mpki=st.floats(min_value=0, max_value=100),
+    l2f=st.floats(min_value=0, max_value=1),
+    misp=st.floats(min_value=0, max_value=20),
+    ilp=st.floats(min_value=0.5, max_value=8),
+)
+@settings(max_examples=100, deadline=None)
+def test_cpi_monotone_in_miss_rates(l1_mpki, l2f, misp, ilp):
+    """More misses/mispredictions can never make CPI smaller."""
+    m = CoreModel(UMANYCORE_CORE)
+    base = m.effective_cpi(SegmentProfile(ilp, l1_mpki, l2f, misp))
+    worse = m.effective_cpi(SegmentProfile(ilp, l1_mpki + 1, min(1.0, l2f), misp + 1))
+    assert worse >= base
+    assert base >= 0.25  # never below the issue-width floor

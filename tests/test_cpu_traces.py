@@ -1,0 +1,94 @@
+"""Tests for the synthetic trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.traces import (
+    MICRO_PROFILES,
+    MONO_PROFILES,
+    branch_trace,
+    data_address_trace,
+    handler_trace,
+    instruction_address_trace,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def test_profiles_partitioned_by_kind():
+    assert all(p.kind == "mono" for p in MONO_PROFILES)
+    assert all(p.kind == "micro" for p in MICRO_PROFILES)
+    assert len(MONO_PROFILES) == 5 and len(MICRO_PROFILES) == 3
+
+
+def test_data_trace_length_and_bounds(rng):
+    p = MICRO_PROFILES[0]
+    addrs = data_address_trace(p, 10_000, rng)
+    assert len(addrs) == 10_000
+    assert addrs.min() >= 0
+    assert addrs.max() < p.data_footprint_kb * 1024
+
+
+def test_data_trace_line_aligned(rng):
+    addrs = data_address_trace(MICRO_PROFILES[0], 1000, rng)
+    assert (addrs % 64 == 0).all()
+
+
+def test_micro_footprint_much_smaller_than_mono(rng):
+    micro = data_address_trace(MICRO_PROFILES[0], 20_000, rng)
+    mono = data_address_trace(MONO_PROFILES[0], 20_000, rng)
+    micro_pages = len(np.unique(micro // 4096))
+    mono_pages = len(np.unique(mono // 4096))
+    assert mono_pages > 5 * micro_pages
+
+
+def test_instruction_trace_bounds(rng):
+    p = MONO_PROFILES[0]
+    addrs = instruction_address_trace(p, 10_000, rng)
+    assert len(addrs) == 10_000
+    assert addrs.max() < p.instr_footprint_kb * 1024
+
+
+def test_micro_instruction_reuse_higher(rng):
+    micro = instruction_address_trace(MICRO_PROFILES[0], 20_000, rng)
+    mono = instruction_address_trace(MONO_PROFILES[0], 20_000, rng)
+    assert len(np.unique(micro)) < len(np.unique(mono))
+
+
+def test_branch_trace_shapes(rng):
+    pcs, taken = branch_trace(MICRO_PROFILES[0], 5000, rng)
+    assert len(pcs) == len(taken) == 5000
+    assert set(np.unique(taken)) <= {0, 1}
+
+
+def test_micro_branches_more_biased(rng):
+    """Micro handler branches are near-deterministic; mono are not."""
+    def per_branch_bias(profile):
+        pcs, taken = branch_trace(profile, 30_000, rng)
+        biases = []
+        for pc in np.unique(pcs):
+            sel = taken[pcs == pc]
+            if len(sel) >= 20:
+                p = sel.mean()
+                biases.append(max(p, 1 - p))
+        return np.mean(biases)
+
+    assert per_branch_bias(MICRO_PROFILES[0]) > per_branch_bias(MONO_PROFILES[3])
+
+
+def test_handler_trace_sharing(rng):
+    d, i = handler_trace(MICRO_PROFILES[0], 8000, rng, n_handlers=4,
+                         shared_fraction=0.9)
+    assert len(d) == len(i) == 8000
+    # Most data pages are in the shared region (below the private base).
+    shared = (d < MICRO_PROFILES[0].data_footprint_kb * 1024 * 2).mean()
+    assert shared > 0.8
+
+
+def test_traces_reproducible():
+    a = data_address_trace(MICRO_PROFILES[0], 1000, np.random.default_rng(7))
+    b = data_address_trace(MICRO_PROFILES[0], 1000, np.random.default_rng(7))
+    assert (a == b).all()

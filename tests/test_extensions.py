@@ -1,0 +1,171 @@
+"""Tests for the Section 8 / 4.1 extensions: heterogeneous villages,
+snapshot auto-scaling, bursty arrivals, and SRPT at system level."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.net.fabric import InterServerFabric, StorageBackend
+from repro.sim import Engine
+from repro.systems import UMANYCORE, Server, simulate
+from repro.systems.configs import heterogeneous_umanycore
+from repro.workloads import SOCIAL_NETWORK_APPS
+from repro.workloads.arrival import bursty_arrival_times
+
+
+def build_server(config, app_name="Text", seed=0):
+    engine = Engine()
+    fabric = InterServerFabric(engine, 1)
+    storage = StorageBackend(engine, np.random.default_rng(seed + 1))
+    app = SOCIAL_NETWORK_APPS[app_name]
+    server = Server(engine, 0, config, {app.name: app},
+                    np.random.default_rng(seed), fabric, storage)
+    return engine, server, app
+
+
+# ------------------------------------------------- heterogeneous villages
+
+def test_hetero_config_validation():
+    cfg = heterogeneous_umanycore(0.25)
+    assert cfg.big_village_fraction == 0.25
+    assert cfg.big_core.issue_width > UMANYCORE.core.issue_width
+    with pytest.raises(ValueError):
+        dataclasses.replace(UMANYCORE, big_village_fraction=0.5)  # no big core
+    with pytest.raises(ValueError):
+        heterogeneous_umanycore(1.5)
+
+
+def test_hetero_server_has_big_villages():
+    __, server, __a = build_server(heterogeneous_umanycore(0.25))
+    assert len(server._big_villages) == 32          # 25% of 128
+    big = next(iter(server._big_villages))
+    small = next(v for v in range(128) if v not in server._big_villages)
+    assert server.village_core_model(big) is server._big_core_model
+    assert server.village_core_model(small) is server.core_model
+
+
+def test_hetero_placement_leaf_services_on_big_villages():
+    """Call-free services land on big villages; orchestrators on small."""
+    __, server, app = build_server(heterogeneous_umanycore(0.25))
+    leaf_services = [n for n, s in app.services.items()
+                     if all(c.is_storage for c in s.calls)]
+    heavy_services = [n for n in app.services if n not in leaf_services]
+    for name in leaf_services:
+        assert set(server.placement[name]) <= server._big_villages, name
+    for name in heavy_services:
+        assert not set(server.placement[name]) & server._big_villages, name
+
+
+def test_hetero_segments_faster_on_big_villages():
+    from repro.core.request import RequestRecord
+
+    __, server, __a = build_server(heterogeneous_umanycore(0.25))
+    big = sorted(server._big_villages)[0]
+    small = next(v for v in range(128) if v not in server._big_villages)
+
+    def time_on(village):
+        rec = RequestRecord("Text", "text", [500_000.0],
+                            on_complete=lambda r: None)
+        rec.village = village
+        return server.segment_time_ns(rec, server.villages[village].cores[0])
+
+    assert time_on(big) < time_on(small)
+
+
+def test_hetero_system_end_to_end():
+    app = SOCIAL_NETWORK_APPS["UrlShort"]
+    r = simulate(heterogeneous_umanycore(0.25), app, rps_per_server=3000,
+                 n_servers=1, duration_s=0.01, seed=0)
+    assert r.completed == r.offered
+
+
+# ----------------------------------------------------------- auto-scaling
+
+def test_auto_scale_boots_instances_under_pressure():
+    """With tiny RQs and a burst, new instances boot from snapshots."""
+    cfg = dataclasses.replace(
+        UMANYCORE, name="uM-autoscale", auto_scale=True, rq_capacity=2,
+        n_cores=64, cores_per_queue=8, n_clusters=8)
+    engine, server, app = build_server(cfg, app_name="Text")
+    initial = {name: len(v) for name, v in server.placement.items()}
+    done = []
+    for __ in range(300):
+        server.client_request("Text", lambda rec: done.append(rec))
+    engine.run()
+    assert server.instances_booted > 0
+    grown = {name: len(server.placement[name]) for name in initial}
+    assert any(grown[n] > initial[n] for n in initial)
+
+
+def test_no_auto_scale_without_flag():
+    cfg = dataclasses.replace(
+        UMANYCORE, name="uM-noscale", auto_scale=False, rq_capacity=2,
+        n_cores=64, cores_per_queue=8, n_clusters=8)
+    engine, server, __ = build_server(cfg, app_name="Text")
+    for __i in range(300):
+        server.client_request("Text", lambda rec: None)
+    engine.run()
+    assert server.instances_booted == 0
+
+
+# --------------------------------------------------------- bursty arrivals
+
+def test_bursty_arrivals_match_mean_rate():
+    rng = np.random.default_rng(0)
+    times = bursty_arrival_times(50_000, 1.0, rng)
+    assert len(times) == pytest.approx(50_000, rel=0.15)
+    assert (np.diff(times) >= 0).all()
+
+
+def test_bursty_arrivals_burstier_than_poisson():
+    """Per-window counts have a much higher variance-to-mean ratio."""
+    from repro.workloads.arrival import arrival_times
+
+    rng = np.random.default_rng(1)
+    window_ns = 5e6
+
+    def dispersion(times):
+        counts = np.bincount((times // window_ns).astype(int))
+        return counts.var() / counts.mean()
+
+    poisson = arrival_times(50_000, 0.5, rng)
+    bursty = bursty_arrival_times(50_000, 0.5, rng)
+    assert dispersion(bursty) > 3 * dispersion(poisson)
+
+
+def test_bursty_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        bursty_arrival_times(0, 1.0, rng)
+    with pytest.raises(ValueError):
+        bursty_arrival_times(100, 1.0, rng, burst_sigma=-1)
+
+
+def test_cluster_simulation_bursty_mode():
+    app = SOCIAL_NETWORK_APPS["UrlShort"]
+    r = simulate(UMANYCORE, app, rps_per_server=3000, n_servers=1,
+                 duration_s=0.01, seed=0, arrivals="bursty")
+    assert r.completed == r.offered
+    with pytest.raises(ValueError):
+        simulate(UMANYCORE, app, 1000, arrivals="weibull")
+
+
+def test_bursty_tail_worse_than_poisson_at_load():
+    """Burstiness inflates the tail at the same mean load."""
+    app = SOCIAL_NETWORK_APPS["Text"]
+    poisson = simulate(UMANYCORE, app, rps_per_server=15_000, n_servers=1,
+                       duration_s=0.02, seed=3, arrivals="poisson")
+    bursty = simulate(UMANYCORE, app, rps_per_server=15_000, n_servers=1,
+                      duration_s=0.02, seed=3, arrivals="bursty")
+    assert bursty.p99_ns > poisson.p99_ns * 0.9   # at least comparable
+
+
+# ------------------------------------------------------------ SRPT config
+
+def test_srpt_system_config_runs():
+    cfg = dataclasses.replace(UMANYCORE, name="uM-srpt", rq_policy="srpt")
+    app = SOCIAL_NETWORK_APPS["Text"]
+    r = simulate(cfg, app, rps_per_server=3000, n_servers=1,
+                 duration_s=0.01, seed=0)
+    assert r.completed == r.offered

@@ -1,0 +1,114 @@
+"""Tests for the event-driven network contention model."""
+
+import numpy as np
+import pytest
+
+from repro.icn import HierarchicalLeafSpine, Mesh2D, Network, NetworkConfig
+from repro.sim import Engine
+
+
+def line_topology(n=3):
+    from repro.icn.topology import Topology
+
+    t = Topology()
+    for i in range(n - 1):
+        t.add_link(f"n{i}", f"n{i+1}")
+    return t
+
+
+def test_single_message_latency_equals_hops_times_hop_time():
+    eng = Engine()
+    net = Network(eng, line_topology(4),
+                  NetworkConfig(hop_cycles=5, freq_ghz=2.0, link_bytes_per_ns=1e9))
+    done = []
+    net.send("n0", "n3", 64, lambda: done.append(eng.now))
+    eng.run()
+    assert done == [pytest.approx(3 * 2.5)]
+
+
+def test_serialization_adds_to_hop_time():
+    eng = Engine()
+    cfg = NetworkConfig(hop_cycles=5, freq_ghz=2.0, link_bytes_per_ns=128.0)
+    net = Network(eng, line_topology(2), cfg)
+    done = []
+    net.send("n0", "n1", 1280, lambda: done.append(eng.now))
+    eng.run()
+    assert done == [pytest.approx(2.5 + 10.0)]
+
+
+def test_contention_queues_messages_on_shared_link():
+    eng = Engine()
+    net = Network(eng, line_topology(2),
+                  NetworkConfig(hop_cycles=2, freq_ghz=1.0, link_bytes_per_ns=1e9))
+    arrivals = []
+    for __ in range(3):
+        net.send("n0", "n1", 64, lambda: arrivals.append(eng.now))
+    eng.run()
+    assert arrivals == [pytest.approx(2.0), pytest.approx(4.0), pytest.approx(6.0)]
+
+
+def test_no_contention_mode_is_pure_delay():
+    eng = Engine()
+    net = Network(eng, line_topology(2),
+                  NetworkConfig(hop_cycles=2, freq_ghz=1.0,
+                                link_bytes_per_ns=1e9, contention=False))
+    arrivals = []
+    for __ in range(3):
+        net.send("n0", "n1", 64, lambda: arrivals.append(eng.now))
+    eng.run()
+    assert arrivals == [pytest.approx(2.0)] * 3
+
+
+def test_self_message_delivered_immediately():
+    eng = Engine()
+    net = Network(eng, line_topology(2), NetworkConfig())
+    done = []
+    net.send("n0", "n0", 64, lambda: done.append(eng.now))
+    eng.run()
+    assert done == [0.0]
+
+
+def test_network_stats():
+    eng = Engine()
+    net = Network(eng, line_topology(3), NetworkConfig())
+    net.send("n0", "n2", 64, lambda: None)
+    eng.run()
+    assert net.messages_sent == 1
+    assert net.hops_traversed == 2
+    assert net.mean_latency > 0
+
+
+def test_leafspine_suffers_less_contention_than_mesh():
+    """The Figure 7 mechanism: same random traffic, same hop latency;
+    ECMP spreads load while XY mesh concentrates it."""
+    rng = np.random.default_rng(1)
+
+    def run(topology, endpoints, use_rng):
+        eng = Engine()
+        net = Network(eng, topology, NetworkConfig(),
+                      rng=np.random.default_rng(2) if use_rng else None)
+        latencies = []
+        pairs = [(endpoints[rng.integers(len(endpoints))],
+                  endpoints[rng.integers(len(endpoints))]) for __ in range(400)]
+        for i, (src, dst) in enumerate(pairs):
+            t = i * 0.7  # aggressive injection
+            eng.schedule_at(t, lambda s=src, d=dst, st=t: net.send(
+                s, d, 256, lambda st=st: latencies.append(eng.now - st)))
+        eng.run()
+        return float(np.mean(latencies))
+
+    mesh = Mesh2D(8, 4)
+    mesh_eps = [mesh.tile(x, y) for x in range(8) for y in range(4)]
+    ls = HierarchicalLeafSpine()
+    ls_eps = [ls.leaf(i) for i in range(32)]
+    assert run(ls, ls_eps, True) < run(mesh, mesh_eps, False)
+
+
+def test_busiest_links_reporting():
+    eng = Engine()
+    net = Network(eng, line_topology(3), NetworkConfig())
+    for __ in range(5):
+        net.send("n0", "n2", 64, lambda: None)
+    eng.run()
+    top = net.busiest_links(top=1)
+    assert top[0][1] == 5

@@ -1,0 +1,79 @@
+"""Tests for latency recording and QoS/throughput accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    LatencyRecorder,
+    ThroughputResult,
+    qos_threshold_ns,
+    qos_violated,
+)
+
+
+def test_summary_statistics():
+    rec = LatencyRecorder("t")
+    for i in range(1, 101):
+        rec.record(float(i), float(i))
+    s = rec.summary()
+    assert s.count == 100
+    assert s.mean == pytest.approx(50.5)
+    assert s.p50 == pytest.approx(50.5)
+    assert s.p99 == pytest.approx(99.01)
+    assert s.maximum == 100.0
+    assert s.tail_to_average == pytest.approx(99.01 / 50.5)
+
+
+def test_warmup_cutoff_filters_by_completion_time():
+    rec = LatencyRecorder()
+    rec.record(10.0, 5.0)
+    rec.record(100.0, 50.0)
+    assert len(rec.latencies(after_ns=50.0)) == 1
+    assert rec.summary(after_ns=50.0).mean == pytest.approx(50.0)
+
+
+def test_empty_recorder_raises():
+    with pytest.raises(ValueError):
+        LatencyRecorder().summary()
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        LatencyRecorder().record(1.0, -1.0)
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=1e9), min_size=1,
+                max_size=500))
+@settings(max_examples=50, deadline=None)
+def test_percentiles_ordered(latencies):
+    rec = LatencyRecorder()
+    for i, lat in enumerate(latencies):
+        rec.record(float(i), lat)
+    s = rec.summary()
+    assert s.p50 <= s.p99 <= s.p999 <= s.maximum
+    assert min(latencies) * 0.999 <= s.mean <= max(latencies) * 1.001
+
+
+def test_qos_threshold():
+    assert qos_threshold_ns(100.0) == 500.0
+    with pytest.raises(ValueError):
+        qos_threshold_ns(0.0)
+
+
+def test_qos_violation_detection():
+    ok = np.full(1000, 400.0)
+    assert not qos_violated(ok, contention_free_avg_ns=100.0)
+    bad = np.concatenate([np.full(950, 100.0), np.full(50, 10_000.0)])
+    assert qos_violated(bad, contention_free_avg_ns=100.0)
+    with pytest.raises(ValueError):
+        qos_violated(np.array([]), 100.0)
+
+
+def test_throughput_normalization():
+    um = ThroughputResult("uM", "Text", 150_000, 1.0)
+    sc = ThroughputResult("SC", "Text", 10_000, 1.0)
+    assert um.normalized_to(sc) == pytest.approx(15.0)
+    with pytest.raises(ValueError):
+        um.normalized_to(ThroughputResult("x", "y", 0.0, 1.0))

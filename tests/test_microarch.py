@@ -1,0 +1,129 @@
+"""Tests for the microarchitectural optimization models (Figure 1 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.microarch.branch import (
+    GSharePredictor,
+    PerceptronPredictor,
+    measure_accuracy,
+)
+from repro.cpu.microarch.evaluate import (
+    OptimizationResult,
+    evaluate_branch_predictor,
+    evaluate_data_prefetcher,
+    geometric_mean_speedup,
+)
+from repro.cpu.microarch.iprefetch import ISpyPrefetcher, run_instruction_prefetch
+from repro.cpu.microarch.prefetch import (
+    PythiaPrefetcher,
+    StridePrefetcher,
+    run_data_prefetch,
+)
+from repro.cpu.microarch.replacement import profile_transient_lines
+from repro.cpu.traces import MICRO_PROFILES, MONO_PROFILES
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+def test_stride_prefetcher_learns_sequential_stream():
+    cache = SetAssociativeCache(4096, 4)
+    addrs = np.arange(0, 64 * 500, 64)
+    run_data_prefetch(cache, StridePrefetcher(), addrs)
+    # After the stride confirms, almost everything is prefetched ahead.
+    assert cache.stats.hit_rate > 0.9
+
+
+def test_stride_prefetcher_idle_on_random_stream(rng):
+    cache = SetAssociativeCache(4096, 4)
+    addrs = rng.integers(0, 1 << 24, 500) * 64
+    run_data_prefetch(cache, StridePrefetcher(), addrs)
+    assert cache.stats.hit_rate < 0.2
+
+
+def test_pythia_learns_constant_offset_pattern(rng):
+    cache = SetAssociativeCache(4096, 4)
+    addrs = np.arange(0, 64 * 2000, 64)
+    pf = PythiaPrefetcher(rng=rng)
+    run_data_prefetch(cache, pf, addrs)
+    assert pf.rewarded > 0
+    assert cache.stats.hit_rate > 0.5
+
+
+def test_gshare_learns_biased_branch():
+    g = GSharePredictor()
+    # Always-taken branch converges fast.
+    acc = measure_accuracy(g, np.zeros(500, dtype=int), np.ones(500, dtype=np.int8))
+    assert acc > 0.95
+
+
+def test_perceptron_learns_history_pattern_gshare_struggles_on():
+    """Outcome = parity of last 10 outcomes: linearly separable for a
+    perceptron with history >= 10... parity is NOT linearly separable; use
+    a single-history-bit correlation instead (out[t] = out[t-7])."""
+    n = 6000
+    taken = np.zeros(n, dtype=np.int8)
+    state = [1, 0, 1, 1, 0, 1, 0]
+    for i in range(n):
+        taken[i] = state[i % 7]
+    pcs = np.zeros(n, dtype=int)
+    acc_p = measure_accuracy(PerceptronPredictor(history_len=24), pcs, taken)
+    assert acc_p > 0.95  # periodic pattern is linearly separable in history
+
+
+def test_branch_eval_perceptron_beats_gshare_on_mono(rng):
+    res = evaluate_branch_predictor(
+        MONO_PROFILES[0], GSharePredictor, PerceptronPredictor, rng,
+        n_branches=40_000)
+    assert res.speedup > 1.10
+
+
+def test_branch_eval_marginal_on_micro(rng):
+    res = evaluate_branch_predictor(
+        MICRO_PROFILES[0], GSharePredictor, PerceptronPredictor, rng,
+        n_branches=60_000)
+    assert res.speedup < 1.09
+
+
+def test_ispy_prefetcher_reduces_icache_misses(rng):
+    from repro.cpu.traces import instruction_address_trace
+
+    addrs = instruction_address_trace(MONO_PROFILES[0], 60_000, rng)
+    base = SetAssociativeCache(64 * 1024, 8)
+    for a in addrs:
+        base.access(int(a))
+    opt = SetAssociativeCache(64 * 1024, 8)
+    run_instruction_prefetch(opt, ISpyPrefetcher(), addrs)
+    assert opt.stats.misses < base.stats.misses
+
+
+def test_profile_transient_lines_finds_streaming_lines():
+    # 10 hot lines touched constantly + 1000 lines touched once each.
+    hot = np.tile(np.arange(10) * 64, 200)
+    cold = (np.arange(1000) + 100) * 64
+    trace = np.concatenate([hot[:1000], cold, hot[1000:]])
+    transient = profile_transient_lines(trace, cache_lines=64)
+    hot_lines = set(range(10))
+    assert hot_lines.isdisjoint(transient)
+    assert len(transient) >= 900  # the streaming lines
+
+
+def test_data_prefetch_eval_mono_gains_more_than_micro(rng):
+    mono = evaluate_data_prefetcher(MONO_PROFILES[0], PythiaPrefetcher, rng,
+                                    n_accesses=40_000)
+    micro = evaluate_data_prefetcher(MICRO_PROFILES[0], PythiaPrefetcher, rng,
+                                     n_accesses=40_000)
+    assert mono.speedup >= micro.speedup
+    assert micro.speedup < 1.10
+
+
+def test_geometric_mean_speedup():
+    results = [OptimizationResult("a", "mono", 2.0, 1.0),
+               OptimizationResult("b", "mono", 1.0, 2.0)]
+    assert geometric_mean_speedup(results) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        geometric_mean_speedup([])

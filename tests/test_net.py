@@ -1,0 +1,117 @@
+"""Tests for NICs, the ServiceMap dispatcher and the inter-server fabric."""
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    FabricConfig,
+    InterServerFabric,
+    LNic,
+    Message,
+    MessageKind,
+    NicConfig,
+    RNic,
+    StorageBackend,
+    TopLevelNic,
+)
+from repro.sim import Engine
+
+
+def test_message_ids_unique_and_kinds():
+    a = Message(MessageKind.REQUEST, "svc")
+    b = Message(MessageKind.RESPONSE, "svc")
+    assert a.msg_id != b.msg_id
+    assert a.is_request and not b.is_request
+
+
+def test_lnic_serializes_messages():
+    eng = Engine()
+    nic = LNic(eng, NicConfig(rpc_processing_ns=100.0, bytes_per_ns=100.0))
+    done = []
+    nic.process(1000, lambda: done.append(eng.now))
+    nic.process(1000, lambda: done.append(eng.now))
+    eng.run()
+    assert done == [pytest.approx(110.0), pytest.approx(220.0)]
+    assert nic.messages == 2
+
+
+def test_rnic_pays_transport_overhead():
+    eng = Engine()
+    lnic = LNic(eng, NicConfig())
+    rnic = RNic(eng, NicConfig(transport_overhead_ns=200.0))
+    times = {}
+    lnic.process(512, lambda: times.__setitem__("l", eng.now))
+    rnic.process(512, lambda: times.__setitem__("r", eng.now))
+    eng.run()
+    assert times["r"] == pytest.approx(times["l"] + 200.0)
+
+
+def test_service_map_round_robin():
+    nic = TopLevelNic(Engine())
+    nic.register_instance("svc", 3)
+    nic.register_instance("svc", 7)
+    nic.register_instance("svc", 3)      # duplicate ignored
+    picks = [nic.pick_village("svc") for __ in range(4)]
+    assert picks == [3, 7, 3, 7]
+    assert nic.villages_for("svc") == [3, 7]
+
+
+def test_service_map_deregister():
+    nic = TopLevelNic(Engine())
+    nic.register_instance("svc", 1)
+    nic.deregister_instance("svc", 1)
+    with pytest.raises(KeyError):
+        nic.pick_village("svc")
+
+
+def test_unknown_service_raises():
+    with pytest.raises(KeyError):
+        TopLevelNic(Engine()).pick_village("ghost")
+
+
+def test_nic_buffering_and_rejection():
+    nic = TopLevelNic(Engine(), buffer_capacity=2)
+    assert nic.try_buffer("a") and nic.try_buffer("b")
+    assert not nic.try_buffer("c")
+    assert nic.rejected == 1
+    assert nic.drain_buffered() == "a"
+    assert nic.buffered == 1
+
+
+def test_fabric_latency_and_serialization():
+    eng = Engine()
+    fabric = InterServerFabric(
+        eng, 2, FabricConfig(one_way_latency_ns=500.0, bytes_per_ns=200.0))
+    done = []
+    fabric.send(0, 1, 2000, lambda: done.append(eng.now))
+    eng.run()
+    assert done == [pytest.approx(500.0 + 10.0)]
+
+
+def test_fabric_egress_contention():
+    eng = Engine()
+    fabric = InterServerFabric(eng, 2)
+    done = []
+    for __ in range(2):
+        fabric.send(0, 1, 20_000, lambda: done.append(eng.now))
+    eng.run()
+    assert done[1] - done[0] == pytest.approx(100.0)  # second serializes
+
+
+def test_fabric_validation():
+    with pytest.raises(ValueError):
+        InterServerFabric(Engine(), 0)
+
+
+def test_storage_latency_distribution():
+    eng = Engine()
+    storage = StorageBackend(eng, np.random.default_rng(0),
+                             FabricConfig(storage_mean_ns=100_000.0,
+                                          storage_cv=1.2))
+    latencies = []
+    for __ in range(3000):
+        storage.access(latencies.append)
+    eng.run()
+    assert np.mean(latencies) == pytest.approx(100_000.0, rel=0.1)
+    assert np.percentile(latencies, 99) > 3 * np.mean(latencies)
+    assert storage.accesses == 3000

@@ -1,0 +1,110 @@
+"""Tests for the CACTI/McPAT-like power & area models (Section 5, 6.8)."""
+
+import pytest
+
+from repro.cpu.core_model import SCALEOUT_CORE, SERVERCLASS_CORE, UMANYCORE_CORE
+from repro.power import (
+    core_area_mm2,
+    core_power_w,
+    iso_area_cores,
+    iso_power_cores,
+    scale_area,
+    scale_power,
+    sram_area_mm2,
+    sram_leakage_w,
+    sram_read_energy_pj,
+    system_budget,
+)
+from repro.power.budget import per_core_power_w
+from repro.systems import SCALEOUT, SERVERCLASS, SERVERCLASS_128, UMANYCORE
+
+
+# ------------------------------------------------------------------ scaling
+
+def test_scaling_tables():
+    assert scale_area(100.0, 32, 10) == pytest.approx(14.5)
+    assert scale_power(100.0, 32, 10) == pytest.approx(36.0)
+    assert scale_area(50.0, 10, 10) == 50.0
+    with pytest.raises(ValueError):
+        scale_area(1.0, 32, 5)
+
+
+# -------------------------------------------------------------------- cacti
+
+def test_sram_area_scales_with_size():
+    small = sram_area_mm2(64 * 1024, 10)
+    big = sram_area_mm2(2 * 1024 * 1024, 10)
+    assert big == pytest.approx(32 * small)
+
+
+def test_sram_read_energy_grows_with_size_and_assoc():
+    assert sram_read_energy_pj(2 << 20, 8) > sram_read_energy_pj(64 << 10, 8)
+    assert sram_read_energy_pj(64 << 10, 16) > sram_read_energy_pj(64 << 10, 2)
+    with pytest.raises(ValueError):
+        sram_read_energy_pj(1024, 0)
+
+
+def test_sram_validation():
+    with pytest.raises(ValueError):
+        sram_area_mm2(-1)
+
+
+# -------------------------------------------------------------------- mcpat
+
+def test_server_core_bigger_and_hungrier():
+    assert core_area_mm2(SERVERCLASS_CORE) > 5 * core_area_mm2(UMANYCORE_CORE)
+    assert core_power_w(SERVERCLASS_CORE) > 15 * core_power_w(UMANYCORE_CORE)
+
+
+def test_power_monotone_in_activity():
+    lo = core_power_w(UMANYCORE_CORE, activity=0.1)
+    hi = core_power_w(UMANYCORE_CORE, activity=0.9)
+    assert hi > lo > 0
+    with pytest.raises(ValueError):
+        core_power_w(UMANYCORE_CORE, activity=1.5)
+
+
+def test_umanycore_and_scaleout_cores_identical_power():
+    assert core_power_w(UMANYCORE_CORE) == pytest.approx(
+        core_power_w(SCALEOUT_CORE))
+
+
+# ---------------------------------------------------------- paper endpoints
+
+def test_per_core_power_matches_paper():
+    """Section 5: 10.225 W ServerClass, 0.396 W ScaleOut, 0.408 W
+    uManycore (core + its cache-hierarchy share); within 10 %."""
+    assert per_core_power_w(SERVERCLASS) == pytest.approx(10.225, rel=0.10)
+    assert per_core_power_w(SCALEOUT) == pytest.approx(0.396, rel=0.10)
+    assert per_core_power_w(UMANYCORE) == pytest.approx(0.408, rel=0.10)
+
+
+def test_umanycore_area_near_paper():
+    """Section 6.8: 547.2 mm2 uManycore vs 176.1 mm2 40-core ServerClass."""
+    um = system_budget(UMANYCORE)
+    sc = system_budget(SERVERCLASS)
+    assert um.area_mm2 == pytest.approx(547.2, rel=0.15)
+    assert sc.area_mm2 == pytest.approx(176.1, rel=0.20)
+    assert 2.5 < um.area_mm2 / sc.area_mm2 < 3.7     # paper: 3.1x
+
+
+def test_umanycore_slightly_larger_than_scaleout():
+    """Section 6.8: uManycore has ~2.9% more area than ScaleOut."""
+    ratio = system_budget(UMANYCORE).area_mm2 / \
+        system_budget(SCALEOUT).area_mm2
+    assert 1.005 < ratio < 1.06
+
+
+def test_iso_power_sizing_yields_40_cores():
+    assert iso_power_cores(UMANYCORE, SERVERCLASS) == 40
+
+
+def test_iso_area_sizing_near_128_cores():
+    assert 100 <= iso_area_cores(UMANYCORE, SERVERCLASS) <= 136
+
+
+def test_iso_area_serverclass_is_power_hungry():
+    """Section 6.8: the 128-core ServerClass uses ~3.2x more power."""
+    ratio = system_budget(SERVERCLASS_128).power_w / \
+        system_budget(UMANYCORE).power_w
+    assert 2.6 < ratio < 3.6

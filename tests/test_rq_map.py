@@ -1,0 +1,166 @@
+"""Tests for the partitioned Request Queue (Section 4.3 advanced design)
+and Section 8 core borrowing."""
+
+import pytest
+
+from repro.core import HARDWARE_CS, RequestQueue, RequestRecord, \
+    SchedulerDomain, Village
+from repro.core.request import RequestStatus
+from repro.core.rq_map import PartitionedRequestQueue
+from repro.sim import Engine
+
+
+def rec(service, segments=None):
+    return RequestRecord(app_name="app", service=service,
+                         segments=segments or [1000.0],
+                         on_complete=lambda r: None)
+
+
+def make_prq(capacity=16, shares=None):
+    return PartitionedRequestQueue(capacity,
+                                   shares or {"a": 0.5, "b": 0.5})
+
+
+def test_rq_map_reflects_shares():
+    prq = PartitionedRequestQueue(64, {"a": 0.75, "b": 0.25})
+    assert prq.rq_map["a"] == 48
+    assert prq.rq_map["b"] == 16
+    assert sum(prq.rq_map.values()) == 64
+
+
+def test_enqueue_routes_by_service():
+    prq = make_prq()
+    ra, rb = rec("a"), rec("b")
+    assert prq.enqueue(ra) and prq.enqueue(rb)
+    assert prq.partition("a").occupancy == 1
+    assert prq.partition("b").occupancy == 1
+    assert prq.occupancy == 2
+
+
+def test_per_service_dequeue_ignores_other_partitions():
+    prq = make_prq()
+    prq.enqueue(rec("b"))
+    assert prq.dequeue("a") is None
+    assert prq.dequeue("b") is not None
+
+
+def test_unfiltered_dequeue_serves_globally_oldest():
+    prq = make_prq()
+    rb, ra = rec("b"), rec("a")
+    prq.enqueue(rb)
+    prq.enqueue(ra)
+    assert prq.dequeue() is rb
+    assert prq.dequeue() is ra
+
+
+def test_partition_overflow_isolated():
+    """One service flooding its partition cannot evict the other's slots."""
+    prq = PartitionedRequestQueue(8, {"a": 0.5, "b": 0.5})
+    for __ in range(4):
+        assert prq.enqueue(rec("a"))
+    assert not prq.enqueue(rec("a"))      # a's partition is full
+    assert prq.rejected == 1
+    assert prq.enqueue(rec("b"))          # b is unaffected
+    assert not prq.is_full
+
+
+def test_block_ready_complete_cycle():
+    prq = make_prq()
+    ra = rec("a", [100.0, 100.0])
+    prq.enqueue(ra)
+    got = prq.dequeue("a")
+    prq.mark_blocked(got)
+    assert not prq.has_ready("a")
+    prq.mark_ready(got)
+    assert prq.has_ready("a") and prq.has_ready()
+    assert prq.dequeue("a") is got
+    prq.complete(got)
+    assert got.status is RequestStatus.FINISHED
+    assert prq.occupancy == 0
+
+
+def test_unknown_service_raises():
+    prq = make_prq()
+    with pytest.raises(KeyError):
+        prq.enqueue(rec("ghost"))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PartitionedRequestQueue(1, {"a": 0.5, "b": 0.5})
+    with pytest.raises(ValueError):
+        PartitionedRequestQueue(8, {})
+    with pytest.raises(ValueError):
+        PartitionedRequestQueue(8, {"a": 0.0})
+
+
+# ------------------------------------------------- village integration
+
+class StubExecutor:
+    def __init__(self, engine, segment_ns=100.0):
+        self.engine = engine
+        self.segment_ns = segment_ns
+
+    def segment_time_ns(self, r, core):
+        return self.segment_ns
+
+    def segment_done(self, r, village, core):
+        village.finish(r, core)
+
+
+def make_village(engine, prq=None, core_borrowing=False, n_cores=2):
+    dom = SchedulerDomain(engine, HARDWARE_CS, freq_ghz=2.0)
+    village = Village(engine, 0, n_cores, dom, StubExecutor(engine),
+                      rq=prq, core_borrowing=core_borrowing)
+    return village
+
+
+def test_village_with_partitioned_rq_partitioned_cores():
+    eng = Engine()
+    village = make_village(eng, prq=make_prq())
+    village.cores[0].service = "a"
+    village.cores[1].service = "b"
+    done = []
+    ra = RequestRecord("app", "a", [1000.0],
+                       on_complete=lambda r: done.append("a"))
+    rb = RequestRecord("app", "b", [1000.0],
+                       on_complete=lambda r: done.append("b"))
+    village.submit(ra)
+    village.submit(rb)
+    eng.run()
+    assert sorted(done) == ["a", "b"]
+    assert village.cores[0].requests_run == 1
+    assert village.cores[1].requests_run == 1
+
+
+def test_core_borrowing_serves_colocated_backlog():
+    """Section 8: service b is idle; its core helps service a's backlog."""
+    eng = Engine()
+    village = make_village(eng, prq=make_prq(), core_borrowing=True)
+    village.cores[0].service = "a"
+    village.cores[1].service = "b"
+    done = []
+    for __ in range(4):
+        village.submit(RequestRecord("app", "a", [1000.0],
+                                     on_complete=lambda r: done.append(
+                                         eng.now)))
+    eng.run()
+    assert len(done) == 4
+    # Both cores participated, so the batch finishes in 2 rounds not 4.
+    assert village.cores[1].requests_run > 0
+    assert max(done) == pytest.approx(200.0)
+
+
+def test_without_borrowing_partitioned_core_stays_idle():
+    eng = Engine()
+    village = make_village(eng, prq=make_prq(), core_borrowing=False)
+    village.cores[0].service = "a"
+    village.cores[1].service = "b"
+    done = []
+    for __ in range(4):
+        village.submit(RequestRecord("app", "a", [1000.0],
+                                     on_complete=lambda r: done.append(
+                                         eng.now)))
+    eng.run()
+    assert village.cores[1].requests_run == 0
+    assert max(done) == pytest.approx(400.0)

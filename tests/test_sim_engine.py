@@ -1,0 +1,95 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Engine
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    fired = []
+    eng.schedule(5.0, fired.append, "late")
+    eng.schedule(1.0, fired.append, "early")
+    eng.schedule(3.0, fired.append, "mid")
+    eng.run()
+    assert fired == ["early", "mid", "late"]
+    assert eng.now == 5.0
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    eng = Engine()
+    fired = []
+    for i in range(10):
+        eng.schedule(1.0, fired.append, i)
+    eng.run()
+    assert fired == list(range(10))
+
+
+def test_cancelled_event_does_not_fire():
+    eng = Engine()
+    fired = []
+    ev = eng.schedule(1.0, fired.append, "x")
+    ev.cancel()
+    eng.schedule(2.0, fired.append, "y")
+    eng.run()
+    assert fired == ["y"]
+
+
+def test_run_until_stops_clock_at_bound():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, fired.append, "a")
+    eng.schedule(10.0, fired.append, "b")
+    eng.run(until=5.0)
+    assert fired == ["a"]
+    assert eng.now == 5.0
+    eng.run()
+    assert fired == ["a", "b"]
+
+
+def test_schedule_during_event_execution():
+    eng = Engine()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            eng.schedule(1.0, chain, n + 1)
+
+    eng.schedule(0.0, chain, 0)
+    eng.run()
+    assert fired == [0, 1, 2, 3]
+    assert eng.now == 3.0
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    eng = Engine()
+    fired = []
+    eng.schedule_at(4.0, fired.append, "x")
+    eng.run()
+    assert eng.now == 4.0 and fired == ["x"]
+    with pytest.raises(ValueError):
+        eng.schedule_at(1.0, fired.append, "past")
+
+
+def test_max_events_bound():
+    eng = Engine()
+    fired = []
+    for i in range(5):
+        eng.schedule(float(i), fired.append, i)
+    eng.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_events_processed_counter():
+    eng = Engine()
+    for i in range(7):
+        eng.schedule(float(i), lambda: None)
+    eng.run()
+    assert eng.events_processed == 7

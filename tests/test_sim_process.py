@@ -1,0 +1,139 @@
+"""Unit tests for generator-based processes and signals."""
+
+import pytest
+
+from repro.sim import Engine, FifoQueue, Signal, Timeout
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+    log = []
+
+    def proc():
+        yield Timeout(3.0)
+        log.append(eng.now)
+        yield Timeout(2.0)
+        log.append(eng.now)
+
+    eng.spawn(proc())
+    eng.run()
+    assert log == [3.0, 5.0]
+
+
+def test_signal_passes_value():
+    eng = Engine()
+    sig = Signal("rpc")
+    got = []
+
+    def waiter():
+        value = yield sig
+        got.append((eng.now, value))
+
+    eng.spawn(waiter())
+    eng.schedule(7.0, sig.fire, eng, "response")
+    eng.run()
+    assert got == [(7.0, "response")]
+
+
+def test_signal_fired_before_wait_resumes_immediately():
+    eng = Engine()
+    sig = Signal()
+    sig.fire(eng, 42)
+    got = []
+
+    def waiter():
+        got.append((yield sig))
+
+    eng.spawn(waiter())
+    eng.run()
+    assert got == [42]
+
+
+def test_signal_double_fire_rejected():
+    eng = Engine()
+    sig = Signal()
+    sig.fire(eng, 1)
+    with pytest.raises(RuntimeError):
+        sig.fire(eng, 2)
+
+
+def test_signal_wakes_multiple_waiters():
+    eng = Engine()
+    sig = Signal()
+    got = []
+
+    def waiter(i):
+        value = yield sig
+        got.append((i, value))
+
+    for i in range(3):
+        eng.spawn(waiter(i))
+    eng.schedule(1.0, sig.fire, eng, "go")
+    eng.run()
+    assert sorted(got) == [(0, "go"), (1, "go"), (2, "go")]
+
+
+def test_process_done_signal_carries_return_value():
+    eng = Engine()
+
+    def child():
+        yield Timeout(5.0)
+        return "result"
+
+    proc = eng.spawn(child())
+    got = []
+
+    def parent():
+        got.append((yield proc.done_signal))
+
+    eng.spawn(parent())
+    eng.run()
+    assert got == ["result"]
+    assert proc.finished and proc.result == "result"
+
+
+def test_process_rejects_non_waitable():
+    eng = Engine()
+
+    def bad():
+        yield "not a waitable"
+
+    eng.spawn(bad())
+    with pytest.raises(TypeError):
+        eng.run()
+
+
+def test_fifo_queue_blocking_get():
+    eng = Engine()
+    q = FifoQueue(eng, "q")
+    got = []
+
+    def consumer():
+        while True:
+            item = yield q.get()
+            got.append((eng.now, item))
+            if item == "stop":
+                return
+
+    eng.spawn(consumer())
+    eng.schedule(2.0, q.put, "a")
+    eng.schedule(5.0, q.put, "stop")
+    eng.run()
+    assert got == [(2.0, "a"), (5.0, "stop")]
+
+
+def test_fifo_queue_buffers_when_no_getter():
+    eng = Engine()
+    q = FifoQueue(eng)
+    q.put(1)
+    q.put(2)
+    assert len(q) == 2
+    got = []
+
+    def consumer():
+        got.append((yield q.get()))
+        got.append((yield q.get()))
+
+    eng.spawn(consumer())
+    eng.run()
+    assert got == [1, 2]

@@ -1,0 +1,102 @@
+"""Tests for system configurations (Table 2) and ablation builders."""
+
+import pytest
+
+from repro.systems import (
+    SCALEOUT,
+    SERVERCLASS,
+    SERVERCLASS_128,
+    UMANYCORE,
+    SystemConfig,
+    ablation_ladder,
+    umanycore_variant,
+)
+
+
+def test_umanycore_geometry_matches_section5():
+    """1024 cores, 128 villages of 8, 32 clusters, leaf-spine, 64-entry RQ."""
+    assert UMANYCORE.n_cores == 1024
+    assert UMANYCORE.cores_per_queue == 8
+    assert UMANYCORE.n_queues == 128
+    assert UMANYCORE.n_clusters == 32
+    assert UMANYCORE.villages_per_cluster == 4
+    assert UMANYCORE.topology == "leafspine"
+    assert UMANYCORE.rq_capacity == 64
+    assert UMANYCORE.hw_queues
+    assert UMANYCORE.cs.name == "hardware"
+    assert UMANYCORE.coherence_domain_cores == 8
+
+
+def test_scaleout_matches_section5():
+    """Same cores as uManycore, fat-tree, one queue per 32-core cluster,
+    global coherence, software scheduling."""
+    assert SCALEOUT.n_cores == 1024
+    assert SCALEOUT.cores_per_queue == 32
+    assert SCALEOUT.n_queues == 32
+    assert SCALEOUT.topology == "fattree"
+    assert SCALEOUT.coherence_domain_cores == 1024
+    assert SCALEOUT.cs.centralized
+    assert not SCALEOUT.hw_queues
+    assert SCALEOUT.core.issue_width == UMANYCORE.core.issue_width
+
+
+def test_serverclass_iso_power_and_iso_area():
+    assert SERVERCLASS.n_cores == 40
+    assert SERVERCLASS_128.n_cores == 128
+    assert SERVERCLASS.topology == "mesh"
+    assert SERVERCLASS.core.freq_ghz == 3.0
+    assert SERVERCLASS.core.rob_entries == 352
+
+
+def test_software_systems_pay_stack_costs_umanycore_does_not():
+    assert UMANYCORE.sw_rpc_core_ns == 0
+    assert UMANYCORE.preempt_quantum_ns == 0
+    assert SCALEOUT.sw_rpc_core_ns > 0
+    assert SERVERCLASS.sw_rpc_core_ns >= SCALEOUT.sw_rpc_core_ns
+    assert SCALEOUT.preempt_quantum_ns > 0
+
+
+def test_state_locality_is_the_villages_pool_advantage():
+    assert UMANYCORE.local_state_fraction > 0.5
+    assert SCALEOUT.local_state_fraction == 0.0
+    assert SERVERCLASS.local_state_fraction == 0.0
+
+
+def test_ablation_ladder_is_cumulative():
+    """Figure 15: each step adds exactly one uManycore technique."""
+    villages, leafspine, hw_sched, hw_cs = ablation_ladder()
+    # Step 1: village-sized domains + local state.
+    assert villages.cores_per_queue == 8
+    assert villages.coherence_domain_cores == 8
+    assert villages.topology == "fattree"
+    # Step 2: only the topology changes.
+    assert leafspine.topology == "leafspine"
+    assert leafspine.cores_per_queue == villages.cores_per_queue
+    # Step 3: hardware queues/scheduling, software context switch remains.
+    assert hw_sched.hw_queues
+    assert hw_sched.cs.scheduler_op_cycles == 0
+    assert hw_sched.cs.switch_cycles == pytest.approx(2000)
+    # Step 4: hardware context switching == full uManycore regime.
+    assert hw_cs.cs.name == "hardware"
+    assert hw_cs.topology == UMANYCORE.topology
+    assert hw_cs.cores_per_queue == UMANYCORE.cores_per_queue
+
+
+def test_umanycore_variants_fig19():
+    for shape in ((8, 4, 32), (32, 1, 32), (32, 2, 16), (32, 4, 8)):
+        cfg = umanycore_variant(*shape)
+        assert cfg.n_cores == 1024
+        assert cfg.cores_per_queue == shape[0]
+    with pytest.raises(ValueError):
+        umanycore_variant(8, 4, 16)
+
+
+def test_config_validation():
+    import dataclasses
+
+    with pytest.raises(ValueError):
+        dataclasses.replace(UMANYCORE, cores_per_queue=7)
+    with pytest.raises(ValueError):
+        dataclasses.replace(UMANYCORE, topology="torus")
+    with pytest.raises(ValueError):
+        dataclasses.replace(UMANYCORE, locality=1.5)

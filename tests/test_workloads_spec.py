@@ -1,0 +1,118 @@
+"""Tests for the service-graph IR and the SocialNetwork apps."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    SOCIAL_NETWORK_APPS,
+    STORAGE,
+    AppSpec,
+    CallSpec,
+    ServiceSpec,
+    social_network_app,
+)
+
+
+def simple_spec(**kw):
+    defaults = dict(name="svc", segment_instructions=1000.0)
+    defaults.update(kw)
+    return ServiceSpec(**defaults)
+
+
+def test_segments_one_more_than_calls():
+    s = simple_spec(calls=(CallSpec(STORAGE), CallSpec(STORAGE)))
+    assert s.n_segments == 3
+
+
+def test_sample_segments_mean_close():
+    rng = np.random.default_rng(0)
+    s = simple_spec(segment_cv=0.5)
+    samples = np.array([s.sample_segments(rng)[0] for __ in range(5000)])
+    assert np.mean(samples) == pytest.approx(1000.0, rel=0.05)
+
+
+def test_zero_cv_is_deterministic():
+    rng = np.random.default_rng(0)
+    s = simple_spec(segment_cv=0.0, calls=(CallSpec(STORAGE),))
+    assert s.sample_segments(rng) == [1000.0, 1000.0]
+
+
+def test_invalid_service_specs():
+    with pytest.raises(ValueError):
+        simple_spec(segment_instructions=0)
+    with pytest.raises(ValueError):
+        simple_spec(segment_cv=-1)
+
+
+def test_app_spec_validates_call_targets():
+    a = simple_spec(name="a", calls=(CallSpec("missing"),))
+    with pytest.raises(ValueError):
+        AppSpec(name="app", root="a", services={"a": a})
+
+
+def test_app_spec_requires_root():
+    a = simple_spec(name="a")
+    with pytest.raises(ValueError):
+        AppSpec(name="app", root="b", services={"a": a})
+
+
+def test_app_spec_rejects_cycles():
+    a = simple_spec(name="a", calls=(CallSpec("b"),))
+    b = simple_spec(name="b", calls=(CallSpec("a"),))
+    with pytest.raises(ValueError):
+        AppSpec(name="app", root="a", services={"a": a, "b": b})
+
+
+def test_mean_rpc_count_counts_nested_calls():
+    leaf = simple_spec(name="leaf", calls=(CallSpec(STORAGE),))
+    root = simple_spec(name="root", calls=(CallSpec("leaf"), CallSpec(STORAGE)))
+    app = AppSpec(name="app", root="root", services={"root": root, "leaf": leaf})
+    assert app.mean_rpc_count() == 3.0   # leaf call + its storage + own storage
+
+
+def test_social_network_has_eight_apps():
+    assert len(SOCIAL_NETWORK_APPS) == 8
+    assert set(SOCIAL_NETWORK_APPS) == {
+        "Text", "SGraph", "User", "PstStr", "UsrMnt", "HomeT", "CPost",
+        "UrlShort"}
+
+
+def test_unknown_app_label_raises():
+    with pytest.raises(KeyError):
+        social_network_app("NoSuchApp")
+
+
+def test_social_network_reachability_closed():
+    for app in SOCIAL_NETWORK_APPS.values():
+        for spec in app.services.values():
+            for call in spec.calls:
+                if not call.is_storage:
+                    assert call.target in app.services
+
+
+def test_average_rpc_count_near_paper():
+    """Section 3.3: the average request performs ~3.1 RPC invocations."""
+    counts = [app.mean_rpc_count() for app in SOCIAL_NETWORK_APPS.values()]
+    avg = sum(counts) / len(counts)
+    assert 2.0 < avg < 4.5
+
+
+def test_average_execution_time_near_paper():
+    """Section 3.3: average per-invocation execution time ~120 us.
+
+    Instructions -> time at ~0.5 CPI on the 2 GHz uManycore cores; the
+    paper's number is per dynamic service invocation, so divide the tree
+    total by the number of invocations (RPC fanout).
+    """
+    per_invocation = []
+    for app in SOCIAL_NETWORK_APPS.values():
+        n_invocations = 1 + app.mean_rpc_count() / 2  # half the RPCs are storage
+        per_invocation.append(app.mean_instructions() / n_invocations)
+    avg_us = (sum(per_invocation) / len(per_invocation)) * 0.5 / 2.0 / 1000.0
+    assert 40.0 < avg_us < 250.0
+
+
+def test_cpost_is_heaviest_urlshort_lightest():
+    rpc = {name: app.mean_rpc_count() for name, app in SOCIAL_NETWORK_APPS.items()}
+    assert rpc["CPost"] == max(rpc.values())
+    assert rpc["UrlShort"] == min(rpc.values())
