@@ -9,7 +9,6 @@ burstiness (the Figure 2 motivation).
 
 import dataclasses
 
-from repro.experiments.common import geomean
 from repro.systems import UMANYCORE, simulate
 from repro.systems.configs import heterogeneous_umanycore
 from repro.workloads import SOCIAL_NETWORK_APPS, synthetic_app

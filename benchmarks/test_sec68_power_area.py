@@ -1,7 +1,7 @@
 """Benchmarks: Section 6.8 iso-area comparison and the Section 5
 power/area table."""
 
-from repro.experiments.common import Settings, geomean
+from repro.experiments.common import Settings
 from repro.experiments.power_area import run as run_power
 from repro.experiments.sec68_iso_area import run as run_iso
 

@@ -3,6 +3,9 @@
 Examples::
 
     python -m repro simulate --system umanycore --app Text --rps 15000
+    python -m repro simulate --system umanycore --json
+    python -m repro trace --system umanycore --app Text --rps 15000 \
+        --out trace.json
     python -m repro experiment fig14
     python -m repro list
 """
@@ -10,7 +13,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import sys
+import json
 from typing import List, Optional
 
 from repro.systems.configs import SCALEOUT, SERVERCLASS, SERVERCLASS_128, \
@@ -42,22 +45,74 @@ def _resolve_app(name: str):
                      f"{list(SYNTHETIC_DISTRIBUTIONS)}")
 
 
-def cmd_simulate(args) -> None:
+def _run_simulation(args, tracer=None, metrics_interval_ns=None):
     from repro.systems.cluster import simulate
 
     config = SYSTEMS[args.system]
     app = _resolve_app(args.app)
-    result = simulate(config, app, rps_per_server=args.rps,
-                      n_servers=args.servers, duration_s=args.duration,
-                      seed=args.seed, arrivals=args.arrivals)
+    return simulate(config, app, rps_per_server=args.rps,
+                    n_servers=args.servers, duration_s=args.duration,
+                    seed=args.seed, arrivals=args.arrivals, tracer=tracer,
+                    metrics_interval_ns=metrics_interval_ns)
+
+
+def _print_summary(result, json_mode: bool) -> None:
+    if json_mode:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        return
     s = result.summary
-    print(f"system     : {config.name}")
-    print(f"app        : {app.name}")
-    print(f"load       : {args.rps:.0f} RPS/server x {args.servers} servers")
+    print(f"system     : {result.system}")
+    print(f"app        : {result.app}")
+    print(f"load       : {result.rps_per_server:.0f} RPS/server x "
+          f"{result.n_servers} servers")
     print(f"completed  : {result.completed} (rejected {result.rejected})")
     print(f"mean       : {s.mean / 1e3:.1f} us")
     print(f"P50 / P99  : {s.p50 / 1e3:.1f} / {s.p99 / 1e3:.1f} us")
     print(f"tail/avg   : {s.tail_to_average:.2f}")
+    bd = result.breakdown()
+    if bd is not None:
+        from repro.telemetry import format_breakdown
+
+        print(format_breakdown(bd))
+
+
+def cmd_simulate(args) -> None:
+    tracer = None
+    if args.trace_out:
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+    result = _run_simulation(args, tracer=tracer)
+    if args.trace_out:
+        from repro.telemetry import write_chrome_trace
+
+        n_events = write_chrome_trace(tracer, args.trace_out)
+        if not args.json:
+            print(f"trace      : {args.trace_out} ({n_events} spans)")
+    _print_summary(result, args.json)
+
+
+def cmd_trace(args) -> None:
+    """One traced run: Chrome trace export + span-derived breakdown."""
+    from repro.telemetry import Tracer, write_chrome_trace, write_spans_csv
+
+    tracer = Tracer()
+    interval = args.metrics_interval_us * 1000.0 \
+        if args.metrics_interval_us > 0 else None
+    result = _run_simulation(args, tracer=tracer,
+                             metrics_interval_ns=interval)
+    n_events = write_chrome_trace(tracer, args.out)
+    if args.csv_out:
+        write_spans_csv(tracer, args.csv_out)
+    if args.json:
+        _print_summary(result, True)
+        return
+    print(f"wrote {args.out}: {n_events} spans, "
+          f"{len(tracer.requests)} requests "
+          f"(open in https://ui.perfetto.dev)")
+    if args.csv_out:
+        print(f"wrote {args.csv_out}")
+    _print_summary(result, False)
 
 
 def cmd_experiment(args) -> None:
@@ -97,17 +152,38 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="uManycore reproduction toolkit")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_run_args(p) -> None:
+        p.add_argument("--system", choices=sorted(SYSTEMS), required=True)
+        p.add_argument("--app", default="Text")
+        p.add_argument("--rps", type=float, default=15_000)
+        p.add_argument("--servers", type=int, default=2)
+        p.add_argument("--duration", type=float, default=0.03,
+                       help="simulated seconds")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--arrivals", choices=("poisson", "bursty"),
+                       default="poisson")
+        p.add_argument("--json", action="store_true",
+                       help="print the run summary as JSON")
+
     sim = sub.add_parser("simulate", help="run one cluster simulation")
-    sim.add_argument("--system", choices=sorted(SYSTEMS), required=True)
-    sim.add_argument("--app", default="Text")
-    sim.add_argument("--rps", type=float, default=15_000)
-    sim.add_argument("--servers", type=int, default=2)
-    sim.add_argument("--duration", type=float, default=0.03,
-                     help="simulated seconds")
-    sim.add_argument("--seed", type=int, default=1)
-    sim.add_argument("--arrivals", choices=("poisson", "bursty"),
-                     default="poisson")
+    add_run_args(sim)
+    sim.add_argument("--trace-out", metavar="FILE", default=None,
+                     help="also trace the run and write a Chrome "
+                          "trace-event file")
     sim.set_defaults(func=cmd_simulate)
+
+    tr = sub.add_parser(
+        "trace", help="run one traced simulation and export the spans")
+    add_run_args(tr)
+    tr.add_argument("--out", required=True, metavar="FILE",
+                    help="Chrome trace-event JSON output path "
+                         "(Perfetto / chrome://tracing)")
+    tr.add_argument("--csv-out", metavar="FILE", default=None,
+                    help="also dump the flat span table as CSV")
+    tr.add_argument("--metrics-interval-us", type=float, default=10.0,
+                    help="gauge sampling period in simulated us "
+                         "(0 disables sampling)")
+    tr.set_defaults(func=cmd_trace)
 
     exp = sub.add_parser("experiment", help="regenerate a paper figure")
     exp.add_argument("id", choices=EXPERIMENTS)

@@ -116,7 +116,24 @@ class SchedulerDomain:
     def restore_ns(self) -> float:
         return self._ns(self.config.restore_cycles)
 
-    def charge_save(self, done: Callable[[], None]) -> None:
+    def _traced(self, done: Callable[[], None], op: str,
+                rec) -> Callable[[], None]:
+        """Wrap ``done`` in a ``context_switch`` span (queueing on a
+        centralized scheduler core included); identity when tracing is
+        off."""
+        tracer = self.engine.tracer
+        if not tracer.enabled:
+            return done
+        start = self.engine.now
+
+        def finish() -> None:
+            tracer.span("context_switch", op, start, self.engine.now,
+                        rec=rec, track=self.name or "sched")
+            done()
+
+        return finish
+
+    def charge_save(self, done: Callable[[], None], rec=None) -> None:
         """Save process state on a block.
 
         Hardware: the core's ContextSwitch instruction (~save_cycles).
@@ -125,19 +142,21 @@ class SchedulerDomain:
         serializes with everything else that core does (Section 4.4).
         """
         self.switches += 1
+        done = self._traced(done, "save", rec)
         if self._sched_core is not None:
             self._sched_core.acquire(self.save_ns, lambda s, f: done())
         else:
             self.engine.schedule(self.save_ns, done)
 
-    def charge_restore(self, done: Callable[[], None]) -> None:
+    def charge_restore(self, done: Callable[[], None], rec=None) -> None:
         """Restore process state on resume (part of Dequeue / dispatch)."""
+        done = self._traced(done, "restore", rec)
         if self._sched_core is not None:
             self._sched_core.acquire(self.restore_ns, lambda s, f: done())
         else:
             self.engine.schedule(self.restore_ns, done)
 
-    def scheduler_op(self, done: Callable[[], None]) -> None:
+    def scheduler_op(self, done: Callable[[], None], rec=None) -> None:
         """One scheduling operation (enqueue/dequeue/wakeup).
 
         Hardware scheduling costs nothing here (the Dequeue instruction's
@@ -153,7 +172,9 @@ class SchedulerDomain:
             op_ns += self.config.jitter_ns
         if op_ns <= 0:
             done()
-        elif self._sched_core is not None:
+            return
+        done = self._traced(done, "sched_op", rec)
+        if self._sched_core is not None:
             self._sched_core.acquire(op_ns, lambda s, f: done())
         else:
             self.engine.schedule(op_ns, done)

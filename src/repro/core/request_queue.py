@@ -27,7 +27,7 @@ class RequestQueue:
     """Circular buffer of request entries with FCFS dequeue."""
 
     def __init__(self, capacity: int = 64, name: str = "",
-                 policy: Optional[object] = None):
+                 policy: Optional[object] = None, clock=None):
         from repro.sched.policies import FCFS_POLICY
 
         if capacity < 1:
@@ -45,6 +45,27 @@ class RequestQueue:
         # FCFS index: min-heap of (enqueue sequence, record) with lazy
         # invalidation, so dequeue does not scan long blocked queues.
         self._ready_heap: List = []
+        # Telemetry: ``clock`` (anything with ``.now``, normally the sim
+        # engine) lets the queue stamp when entries become READY and
+        # account total RQ residency; None keeps the queue time-free.
+        self.clock = clock
+        self.wait_ns_total = 0.0
+        self.dequeues = 0
+
+    def set_clock(self, clock) -> None:
+        """Attach a time source for RQ-wait accounting."""
+        self.clock = clock
+
+    def _stamp_ready(self, rec: RequestRecord) -> None:
+        if self.clock is not None:
+            rec._ready_since_ns = self.clock.now
+
+    def _account_dequeue(self, rec: RequestRecord) -> None:
+        self.dequeues += 1
+        if self.clock is not None:
+            rec._rq_wait_ns = self.clock.now - getattr(
+                rec, "_ready_since_ns", self.clock.now)
+            self.wait_ns_total += rec._rq_wait_ns
 
     @property
     def occupancy(self) -> int:
@@ -68,6 +89,7 @@ class RequestQueue:
         rec.status = RequestStatus.READY
         rec._rq_seq = self.enqueued
         rec._rq_soft = False
+        self._stamp_ready(rec)
         heapq.heappush(self._ready_heap,
                        (self.policy.key(rec), rec.req_id, rec))
         return True
@@ -86,6 +108,7 @@ class RequestQueue:
         rec.status = RequestStatus.READY
         rec._rq_seq = self.enqueued
         rec._rq_soft = True
+        self._stamp_ready(rec)
         heapq.heappush(self._ready_heap,
                        (self.policy.key(rec), rec.req_id, rec))
 
@@ -99,6 +122,7 @@ class RequestQueue:
                     continue
                 heapq.heappop(self._ready_heap)
                 rec.status = RequestStatus.RUNNING
+                self._account_dequeue(rec)
                 return rec
             return None
         # Service-filtered dequeue (co-located services): linear scan in
@@ -110,6 +134,7 @@ class RequestQueue:
             if rec.service != service:
                 continue
             rec.status = RequestStatus.RUNNING
+            self._account_dequeue(rec)
             return rec
         return None
 
@@ -136,6 +161,7 @@ class RequestQueue:
             raise RuntimeError(
                 f"request {rec.req_id} not blocked ({rec.status})")
         rec.status = RequestStatus.READY
+        self._stamp_ready(rec)
         # Re-index: FCFS keeps the original arrival position; SRPT re-keys
         # by the (now smaller) remaining work.
         heapq.heappush(self._ready_heap,

@@ -55,6 +55,15 @@ class PartitionedRequestQueue:
         self.rejected = 0
         self._seq = 0          # global arrival order across partitions
 
+    def set_clock(self, clock) -> None:
+        """Attach a time source to every partition (RQ-wait telemetry)."""
+        for q in self._partitions.values():
+            q.set_clock(clock)
+
+    @property
+    def wait_ns_total(self) -> float:
+        return sum(q.wait_ns_total for q in self._partitions.values())
+
     # ------------------------------------------------------------ RQ_Map
 
     @property

@@ -19,11 +19,11 @@ and drives the village back through :meth:`block_for_call`,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.context_switch import SchedulerDomain
-from repro.core.request import RequestRecord, RequestStatus
+from repro.core.request import RequestRecord
 from repro.core.request_queue import RequestQueue
 
 
@@ -62,6 +62,8 @@ class Village:
         # Section 4.3 RQ_Map design) instead of the default shared RQ.
         self.rq = rq if rq is not None else RequestQueue(
             rq_capacity, name=f"{self.name}.rq", policy=rq_policy)
+        if hasattr(self.rq, "set_clock"):
+            self.rq.set_clock(engine)   # RQ-wait stamping for telemetry
         #: Section 8: a co-located instance may temporarily borrow cores
         #: assigned to another instance when its own queue backs up.
         self.core_borrowing = core_borrowing
@@ -108,7 +110,7 @@ class Village:
             owner.rq.mark_ready(rec)
             self._kick()
 
-        self.scheduler.scheduler_op(ready)
+        self.scheduler.scheduler_op(ready, rec=rec)
 
     # ----------------------------------------------------------- dispatch
 
@@ -142,20 +144,28 @@ class Village:
             rec._first_dispatch_ns = self.engine.now
             rec.queue_wait_ns = self.engine.now - getattr(
                 rec, "_enqueue_ns", self.engine.now)
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            # RQ residency ends at dequeue; the ready stamp comes from the
+            # queue's clock (enqueue or the last blocked->ready wakeup).
+            tracer.span("rq_wait", self.name, getattr(
+                rec, "_ready_since_ns", self.engine.now), self.engine.now,
+                rec=rec, track=self.name)
         stolen = rec.village != self.village_id
 
         def start():
             if rec.has_run:
-                self.scheduler.charge_restore(lambda: self._execute(core, rec))
+                self.scheduler.charge_restore(
+                    lambda: self._execute(core, rec), rec=rec)
             else:
                 self._execute(core, rec)
 
         extra = self.steal_overhead_ns if stolen else 0.0
         if extra > 0:
             self.scheduler.scheduler_op(
-                lambda: self.engine.schedule(extra, start))
+                lambda: self.engine.schedule(extra, start), rec=rec)
         else:
-            self.scheduler.scheduler_op(start)
+            self.scheduler.scheduler_op(start, rec=rec)
         return True
 
     def _execute(self, core: Core, rec: RequestRecord) -> None:
@@ -163,6 +173,12 @@ class Village:
         rec.last_core = (self.village_id, core.core_id)
         rec.has_run = True
         core.busy_ns += duration
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.span("compute", f"{rec.service}#seg{rec.seg_index}",
+                        self.engine.now, self.engine.now + duration,
+                        rec=rec, track=f"{self.name}.c{core.core_id}",
+                        core=core.core_id)
         self.engine.schedule(duration, self._segment_finished, core, rec)
 
     def _segment_finished(self, core: Core, rec: RequestRecord) -> None:
@@ -179,7 +195,7 @@ class Village:
             core.busy = False
             self._try_dispatch(core)
 
-        self.scheduler.charge_save(saved)
+        self.scheduler.charge_save(saved, rec=rec)
 
     def finish(self, rec: RequestRecord, core: Core) -> None:
         """The request completed: Complete instruction, free the core."""
@@ -193,7 +209,7 @@ class Village:
             rec.on_complete(rec)
             self._try_dispatch(core)
 
-        self.scheduler.scheduler_op(done)
+        self.scheduler.scheduler_op(done, rec=rec)
 
     # ------------------------------------------------------------- stats
 

@@ -6,7 +6,7 @@ report per-level hit rates for data and instructions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.cpu.cache import SetAssociativeCache

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.systems.cluster import RunResult, simulate
 from repro.systems.configs import SystemConfig
@@ -68,9 +70,11 @@ def run_matrix(configs: Sequence[SystemConfig], apps: Sequence[AppSpec],
 
 
 def format_table(headers: List[str], rows: Iterable[Sequence]) -> str:
-    """Fixed-width text table."""
+    """Fixed-width text table.  Tolerates an empty row list and rows
+    shorter than the header (missing cells render blank)."""
     rows = [[str(c) for c in row] for row in rows]
-    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+    rows = [row + [""] * (len(headers) - len(row)) for row in rows]
+    widths = [max([len(h)] + [len(r[i]) for r in rows])
               for i, h in enumerate(headers)]
     def line(cells):
         return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
@@ -79,8 +83,6 @@ def format_table(headers: List[str], rows: Iterable[Sequence]) -> str:
 
 
 def geomean(values: Sequence[float]) -> float:
-    import numpy as np
-
     arr = np.asarray(list(values), dtype=float)
     if len(arr) == 0 or (arr <= 0).any():
         raise ValueError("geomean needs positive values")

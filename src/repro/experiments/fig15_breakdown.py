@@ -5,6 +5,14 @@ the leaf-spine ICN, hardware scheduling, and hardware context switching;
 report tail-latency reduction vs ScaleOut after each step.
 
 Paper result (average): 1.1x, 2.3x, 3.9x, 7.4x cumulative.
+
+The *where-the-time-goes* half of the figure is derived from telemetry:
+each step is re-run with a :class:`~repro.telemetry.Tracer` and the
+per-category decomposition (RQ wait / compute / ICN / context switch /
+storage ...) comes from the span stream via
+:func:`repro.telemetry.aggregate_breakdown` — per-request category times
+sum to the end-to-end latency exactly, so the table is consistent with
+the latency summary by construction.
 """
 
 from __future__ import annotations
@@ -16,6 +24,8 @@ from repro.experiments.common import APP_ORDER, Settings, format_table, \
     geomean
 from repro.systems.cluster import simulate
 from repro.systems.configs import SCALEOUT, ablation_ladder
+from repro.telemetry import BREAKDOWN_CATEGORIES, Tracer, \
+    aggregate_breakdown
 from repro.workloads.deathstar import social_network_app
 
 PAPER = {"+Villages": 1.1, "+Leaf-spine": 2.3, "+HW Scheduling": 3.9,
@@ -35,6 +45,28 @@ def run(rps: float = 15_000, apps=tuple(APP_ORDER),
                          duration_s=settings.duration_s, seed=settings.seed,
                          warmup_fraction=settings.warmup_fraction)
             out[(cfg.name, app_name)] = r.p99_ns
+    return out
+
+
+def span_breakdown(rps: float = 15_000, app_name: str = "Text",
+                   settings: Settings = Settings()
+                   ) -> Dict[str, Dict[str, object]]:
+    """Span-derived latency decomposition per ablation step.
+
+    One traced run per step; returns ``step name -> aggregate breakdown``
+    (see :func:`repro.telemetry.aggregate_breakdown`).
+    """
+    app = social_network_app(app_name)
+    out: Dict[str, Dict[str, object]] = {}
+    for cfg in [SCALEOUT] + ablation_ladder():
+        tracer = Tracer()
+        result = simulate(cfg, app, rps_per_server=rps,
+                          n_servers=settings.n_servers,
+                          duration_s=settings.duration_s, seed=settings.seed,
+                          warmup_fraction=settings.warmup_fraction,
+                          tracer=tracer)
+        out[cfg.name] = aggregate_breakdown(tracer,
+                                            after_ns=result.warmup_ns)
     return out
 
 
@@ -58,6 +90,20 @@ def main(settings: Settings = Settings()) -> None:
     print()
     print(bar_chart(step_names, reductions,
                     title="cumulative tail reduction (x)"))
+    print()
+    print("Where the time goes (Text, % of mean latency, from spans):")
+    breakdowns = span_breakdown(settings=settings)
+    cats = [c for c in BREAKDOWN_CATEGORIES]
+    bd_rows = []
+    for step, agg in breakdowns.items():
+        if agg is None:
+            bd_rows.append([step] + ["-"] * (len(cats) + 1))
+            continue
+        bd_rows.append(
+            [step]
+            + [f"{100.0 * agg['fraction'][c]:.1f}" for c in cats]
+            + [f"{agg['wall_mean_ns'] / 1e3:.0f}"])
+    print(format_table(["step"] + cats + ["mean us"], bd_rows))
 
 
 if __name__ == "__main__":

@@ -63,8 +63,12 @@ class Network:
         return res
 
     def send(self, src: str, dst: str, size_bytes: int,
-             on_delivered: Callable[[], None]) -> None:
-        """Route a message and call ``on_delivered`` when it arrives."""
+             on_delivered: Callable[[], None], rec=None) -> None:
+        """Route a message and call ``on_delivered`` when it arrives.
+
+        ``rec`` optionally attributes the message's ``icn_hop`` span to a
+        request's trace (ignored when tracing is off).
+        """
         path = self.topology.path(src, dst, self.rng)
         self.messages_sent += 1
         if len(path) < 2:
@@ -75,6 +79,17 @@ class Network:
             self.config.serialization_ns(size_bytes)
         hops = list(zip(path, path[1:]))
         self.hops_traversed += len(hops)
+
+        if self.engine.tracer.enabled:
+            inner = on_delivered
+            name = f"{src}->{dst}"
+            n_hops = len(hops)
+
+            def on_delivered() -> None:
+                self.engine.tracer.span(
+                    "icn_hop", name, sent_at, self.engine.now, rec=rec,
+                    track="icn", hops=n_hops, bytes=size_bytes)
+                inner()
 
         if not self.config.contention:
             total = hop_time * len(hops)
@@ -94,6 +109,10 @@ class Network:
     def _deliver(self, sent_at: float, on_delivered: Callable[[], None]) -> None:
         self.total_latency += self.engine.now - sent_at
         on_delivered()
+
+    def queued_messages(self) -> int:
+        """Messages currently waiting on busy links (contention gauge)."""
+        return sum(res.queue_length for res in self._links.values())
 
     def transit_time(self, src: str, dst: str, size_bytes: int) -> float:
         """Contention-free latency of one message (for analytic baselines)."""

@@ -15,7 +15,7 @@ partial (a handler touches a subset of each page's lines).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Set, Tuple
 
 import numpy as np

@@ -1,7 +1,13 @@
-"""Measurement utilities: latency recording, throughput/QoS accounting."""
+"""Measurement utilities: latency recording, throughput/QoS accounting.
+
+The time-series instruments (counters/gauges/histograms with periodic
+sampling) live in :mod:`repro.telemetry.metrics` and are re-exported
+here so measurement code has one import root.
+"""
 
 from repro.metrics.latency import LatencyRecorder, LatencySummary
 from repro.metrics.throughput import ThroughputResult, qos_threshold_ns, qos_violated
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
     "LatencyRecorder",
@@ -9,4 +15,8 @@ __all__ = [
     "ThroughputResult",
     "qos_violated",
     "qos_threshold_ns",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
 ]

@@ -9,7 +9,7 @@ cutoff so ramp-up samples can be excluded.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -43,9 +43,20 @@ class InterServerFabric:
         self.messages = 0
 
     def send(self, src_server: int, dst_server: int, size_bytes: int,
-             done: Callable[[], None]) -> None:
+             done: Callable[[], None], rec=None) -> None:
         """Deliver a message between servers (or to the storage tier)."""
         self.messages += 1
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            start = self.engine.now
+            inner = done
+
+            def done() -> None:
+                tracer.span("fabric", f"s{src_server}->s{dst_server}",
+                            start, self.engine.now, rec=rec, track="fabric",
+                            bytes=size_bytes)
+                inner()
+
         cfg = self.config
         serialize = size_bytes / cfg.bytes_per_ns
         self._egress[src_server].acquire(

@@ -44,9 +44,27 @@ class LNic:
         self._port = Resource(engine, capacity=1, name=f"{name}.port")
         self.messages = 0
 
-    def process(self, size_bytes: int, done: Callable[[], None]) -> None:
+    def _traced(self, done: Callable[[], None],
+                rec) -> Callable[[], None]:
+        """Wrap ``done`` with a ``nic_dispatch`` span covering port
+        queueing + service; identity when tracing is off."""
+        tracer = self.engine.tracer
+        if not tracer.enabled:
+            return done
+        start = self.engine.now
+
+        def finish() -> None:
+            tracer.span("nic_dispatch", self.name or "nic", start,
+                        self.engine.now, rec=rec, track=self.name or "nic")
+            done()
+
+        return finish
+
+    def process(self, size_bytes: int, done: Callable[[], None],
+                rec=None) -> None:
         """Pass one message through the NIC; ``done`` on completion."""
         self.messages += 1
+        done = self._traced(done, rec)
         cfg = self.config
         service = cfg.rpc_processing_ns + size_bytes / cfg.bytes_per_ns
         self._port.acquire(service, lambda s, f: done())
@@ -61,8 +79,10 @@ class RNic(LNic):
         config = config or NicConfig(transport_overhead_ns=200.0)
         super().__init__(engine, config, name)
 
-    def process(self, size_bytes: int, done: Callable[[], None]) -> None:
+    def process(self, size_bytes: int, done: Callable[[], None],
+                rec=None) -> None:
         self.messages += 1
+        done = self._traced(done, rec)
         cfg = self.config
         service = (cfg.rpc_processing_ns + cfg.transport_overhead_ns
                    + size_bytes / cfg.bytes_per_ns)
@@ -124,8 +144,19 @@ class TopLevelNic:
         self._rr[service] = idx + 1
         return villages[idx]
 
-    def process(self, size_bytes: int, done: Callable[[], None]) -> None:
+    def process(self, size_bytes: int, done: Callable[[], None],
+                rec=None) -> None:
         """NIC datapath cost for one external message."""
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            start = self.engine.now
+            inner = done
+
+            def done() -> None:
+                tracer.span("nic_dispatch", self.name, start,
+                            self.engine.now, rec=rec, track=self.name)
+                inner()
+
         cfg = self.config
         service = cfg.rpc_processing_ns + size_bytes / cfg.bytes_per_ns
         self._port.acquire(service, lambda s, f: done())

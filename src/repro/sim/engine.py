@@ -10,6 +10,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.telemetry.tracer import NULL_TRACER
+
 
 class ScheduledEvent:
     """Handle for a scheduled callback; supports cancellation."""
@@ -45,6 +47,10 @@ class Engine:
         self._seq: int = 0
         self._running = False
         self.events_processed: int = 0
+        #: Telemetry hook shared by every component built on this engine.
+        #: Defaults to the no-op tracer; sites guard on ``tracer.enabled``
+        #: so disabled tracing costs one attribute load per hook.
+        self.tracer = NULL_TRACER
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Schedule ``fn(*args)`` to run ``delay`` ns from now."""

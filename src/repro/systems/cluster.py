@@ -11,14 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
-
 from repro.metrics.latency import LatencyRecorder, LatencySummary
 from repro.net.fabric import FabricConfig, InterServerFabric, StorageBackend
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
 from repro.systems.configs import SystemConfig
 from repro.systems.server import Server
+from repro.telemetry import MetricsRegistry, NullTracer, aggregate_breakdown
 from repro.workloads.arrival import arrival_times, bursty_arrival_times
 from repro.workloads.spec import AppSpec
 
@@ -36,6 +35,13 @@ class RunResult:
     completed: int
     rejected: int
     offered: int
+    #: The run's tracer when tracing was enabled (else None).
+    tracer: Optional[object] = None
+    #: The run's sampled metrics registry when enabled (else None).
+    metrics: Optional[MetricsRegistry] = None
+    #: Warm-up cutoff used for the summary (ns) — also applied to the
+    #: span-derived breakdown so both cover the same request population.
+    warmup_ns: float = 0.0
 
     @property
     def throughput_rps(self) -> float:
@@ -49,6 +55,35 @@ class RunResult:
     def p99_ns(self) -> float:
         return self.summary.p99
 
+    def breakdown(self) -> Optional[dict]:
+        """Span-derived per-category latency decomposition (see
+        :mod:`repro.telemetry.breakdown`); None without tracing."""
+        if self.tracer is None or not getattr(self.tracer, "enabled", False):
+            return None
+        return aggregate_breakdown(self.tracer, after_ns=self.warmup_ns)
+
+    def as_dict(self) -> dict:
+        """Machine-readable run summary (the ``--json`` payload)."""
+        d = {
+            "system": self.system,
+            "app": self.app,
+            "rps_per_server": self.rps_per_server,
+            "n_servers": self.n_servers,
+            "duration_s": self.duration_s,
+            "offered": self.offered,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "throughput_rps": self.throughput_rps,
+            "latency_ns": self.summary.as_dict(),
+            "tail_to_average": self.summary.tail_to_average,
+        }
+        bd = self.breakdown()
+        if bd is not None:
+            d["breakdown"] = bd
+        if self.metrics is not None:
+            d["metrics"] = self.metrics.as_dict()
+        return d
+
 
 class ClusterSimulation:
     """Owns the engine, fabric, storage and servers for one run."""
@@ -58,7 +93,9 @@ class ClusterSimulation:
                  duration_s: float = 0.02, seed: int = 0,
                  warmup_fraction: float = 0.25,
                  fabric_config: Optional[FabricConfig] = None,
-                 arrivals: str = "poisson"):
+                 arrivals: str = "poisson",
+                 tracer: Optional[NullTracer] = None,
+                 metrics_interval_ns: Optional[float] = None):
         if n_servers < 1:
             raise ValueError("n_servers must be >= 1")
         if not 0 <= warmup_fraction < 1:
@@ -73,6 +110,12 @@ class ClusterSimulation:
         self.duration_s = duration_s
         self.warmup_fraction = warmup_fraction
         self.engine = Engine()
+        self.tracer = tracer
+        if tracer is not None:
+            self.engine.tracer = tracer     # every layer reports through it
+        self.metrics: Optional[MetricsRegistry] = \
+            MetricsRegistry() if metrics_interval_ns else None
+        self.metrics_interval_ns = metrics_interval_ns
         self.streams = RngStreams(seed)
         self.fabric = InterServerFabric(self.engine, n_servers, fabric_config)
         self.storage = StorageBackend(self.engine,
@@ -89,6 +132,25 @@ class ClusterSimulation:
         self.recorder = LatencyRecorder(name=f"{config.name}/{app.name}")
         self.offered = 0
         self.rejected = 0
+        if self.metrics is not None:
+            self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Periodic time series of the paper's congestion indicators:
+        RQ depth, village utilization, NIC buffer occupancy, ICN link
+        contention (Section 6 / uqSim-style per-stage visibility)."""
+        reg = self.metrics
+        for server in self.servers:
+            s = server  # bind per-iteration for the closures below
+            name = f"s{s.server_id}"
+            reg.gauge(f"{name}.rq_depth",
+                      lambda s=s: sum(v.rq.occupancy for v in s.villages))
+            reg.gauge(f"{name}.rq_depth_max",
+                      lambda s=s: max(v.rq.occupancy for v in s.villages))
+            reg.gauge(f"{name}.utilization", lambda s=s: s.utilization())
+            reg.gauge(f"{name}.nic_buffer", lambda s=s: s.top_nic.buffered)
+            reg.gauge(f"{name}.icn_queued",
+                      lambda s=s: s.network.queued_messages())
 
     def _schedule_arrivals(self) -> None:
         generate = arrival_times if self.arrivals == "poisson" \
@@ -104,13 +166,21 @@ class ClusterSimulation:
         def done(rec) -> None:
             if rec.rejected:
                 self.rejected += 1
+                if self.metrics is not None:
+                    self.metrics.counter("rejected").inc()
                 return
-            self.recorder.record(self.engine.now, self.engine.now - arrival_ns)
+            latency = self.engine.now - arrival_ns
+            self.recorder.record(self.engine.now, latency)
+            if self.metrics is not None:
+                self.metrics.histogram("latency_ns").observe(latency)
 
         server.client_request(self.app.name, done)
 
     def run(self, max_events: Optional[int] = None) -> RunResult:
         self._schedule_arrivals()
+        if self.metrics is not None:
+            self.metrics.histogram("latency_ns")
+            self.metrics.start_sampling(self.engine, self.metrics_interval_ns)
         self.engine.run(max_events=max_events)
         warmup_ns = self.warmup_fraction * self.duration_s * 1e9
         summary = self.recorder.summary(after_ns=warmup_ns)
@@ -119,16 +189,25 @@ class ClusterSimulation:
             rps_per_server=self.rps_per_server, n_servers=self.n_servers,
             duration_s=self.duration_s, summary=summary,
             completed=len(self.recorder), rejected=self.rejected,
-            offered=self.offered)
+            offered=self.offered, tracer=self.tracer, metrics=self.metrics,
+            warmup_ns=warmup_ns)
 
 
 def simulate(config: SystemConfig, app: AppSpec, rps_per_server: float,
              n_servers: int = 4, duration_s: float = 0.02, seed: int = 0,
              warmup_fraction: float = 0.25,
              fabric_config: Optional[FabricConfig] = None,
-             arrivals: str = "poisson") -> RunResult:
-    """One-call wrapper: build the cluster, run it, return the result."""
+             arrivals: str = "poisson",
+             tracer: Optional[NullTracer] = None,
+             metrics_interval_ns: Optional[float] = None) -> RunResult:
+    """One-call wrapper: build the cluster, run it, return the result.
+
+    Pass a :class:`repro.telemetry.Tracer` to capture spans and/or a
+    ``metrics_interval_ns`` to sample system-state gauges periodically;
+    both default to off (zero-overhead NullTracer path).
+    """
     sim = ClusterSimulation(config, app, rps_per_server, n_servers,
                             duration_s, seed, warmup_fraction, fabric_config,
-                            arrivals=arrivals)
+                            arrivals=arrivals, tracer=tracer,
+                            metrics_interval_ns=metrics_interval_ns)
     return sim.run()

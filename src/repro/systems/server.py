@@ -270,7 +270,8 @@ class Server:
                 src_cluster = local_cluster
             else:
                 src_cluster = int(self.rng.integers(cfg.n_clusters))
-            self.network.send(self._leaf(src_cluster), dst, msg_bytes, arrived)
+            self.network.send(self._leaf(src_cluster), dst, msg_bytes,
+                              arrived, rec=rec)
 
     def _resume_penalty_ns(self, rec: RequestRecord, core) -> float:
         """Cache-warmth cost of resuming on a different core (Section 4.1)."""
@@ -335,18 +336,23 @@ class Server:
         v = village.village_id
         node = self._village_node(v)
         leaf = self._leaf(self.village_cluster(v))
+        tracer = self.engine.tracer
+        issued_ns = self.engine.now
 
         def resume(latency_ns: float = 0.0) -> None:
+            if tracer.enabled:
+                tracer.span("storage_rpc", "storage", issued_ns,
+                            self.engine.now, rec=rec, track="storage")
             rec.advance_segment()
             village.make_ready(rec)
 
         def back_on_package() -> None:
             self.network.send(leaf, node, self._coh_bytes(STORAGE_BYTES),
-                              resume)
+                              resume, rec=rec)
 
         def storage_done(latency_ns: float) -> None:
             self.fabric.send(self.server_id, self.server_id, STORAGE_BYTES,
-                             back_on_package)
+                             back_on_package, rec=rec)
 
         def at_rnic() -> None:
             self.rnics[v].process(
@@ -354,9 +360,11 @@ class Server:
                 lambda: self.fabric.send(self.server_id, self.server_id,
                                          STORAGE_BYTES,
                                          lambda: self.storage.access(
-                                             storage_done)))
+                                             storage_done), rec=rec),
+                rec=rec)
 
-        self.network.send(node, leaf, self._coh_bytes(STORAGE_BYTES), at_rnic)
+        self.network.send(node, leaf, self._coh_bytes(STORAGE_BYTES),
+                          at_rnic, rec=rec)
 
     def _service_call(self, rec: RequestRecord, village: Village,
                       target: str) -> None:
@@ -372,6 +380,11 @@ class Server:
 
         child = self._make_request(rec.app_name, target, respond,
                                    depth=rec.depth + 1)
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            # Nested RPC: its own request span, parented into the caller's
+            # trace so the span tree follows the RPC tree.
+            tracer.begin_request(child, self.engine.now, parent=rec)
         src_node = self._village_node(village.village_id)
         if callee is self:
             dst_village = self.top_nic.pick_village(target)
@@ -380,7 +393,9 @@ class Server:
                 lambda: self.network.send(
                     src_node, self._village_node(dst_village),
                     self._coh_bytes(REQUEST_BYTES),
-                    lambda: self._submit_with_retry(child, dst_village)))
+                    lambda: self._submit_with_retry(child, dst_village),
+                    rec=child),
+                rec=child)
         else:
             v = village.village_id
             leaf = self._leaf(self.village_cluster(v))
@@ -390,14 +405,22 @@ class Server:
                     REQUEST_BYTES,
                     lambda: self.fabric.send(
                         self.server_id, callee.server_id, REQUEST_BYTES,
-                        lambda: callee.ingress_internal(child))))
+                        lambda: callee.ingress_internal(child), rec=child),
+                    rec=child),
+                rec=child)
 
     def _deliver_response(self, callee: "Server", child: RequestRecord,
                           parent_village: Village,
                           parent: RequestRecord) -> None:
         """Send a child's response back to the waiting parent."""
 
+        tracer = self.engine.tracer
+
         def resume() -> None:
+            if tracer.enabled:
+                # The nested call's span closes when its response reaches
+                # the waiting parent — the full parent-visible latency.
+                tracer.end_request(child, self.engine.now)
             parent.advance_segment()
             parent_village.make_ready(parent)
 
@@ -405,7 +428,8 @@ class Server:
         if callee is self:
             self.network.send(child_node,
                               self._village_node(parent_village.village_id),
-                              self._coh_bytes(RESPONSE_BYTES), resume)
+                              self._coh_bytes(RESPONSE_BYTES), resume,
+                              rec=child)
         else:
             child_leaf = callee._leaf(callee.village_cluster(child.village))
             callee.network.send(
@@ -416,7 +440,9 @@ class Server:
                         self._leaf(self.village_cluster(
                             parent_village.village_id)),
                         self._village_node(parent_village.village_id),
-                        self._coh_bytes(RESPONSE_BYTES), resume)))
+                        self._coh_bytes(RESPONSE_BYTES), resume, rec=child),
+                    rec=child),
+                rec=child)
 
     # ------------------------------------------------------------- ingress
 
@@ -451,12 +477,18 @@ class Server:
     def ingress_internal(self, rec: RequestRecord) -> None:
         """A request arriving from a peer server for a local instance."""
         self.top_nic.process(REQUEST_BYTES, lambda: self._dispatch_external(
-            rec, internal=True))
+            rec, internal=True), rec=rec)
 
     def client_request(self, app_name: str,
                        on_done: Callable[[RequestRecord], None]) -> None:
         """External request from a client outside the cluster."""
         app = self.apps[app_name]
+        tracer = self.engine.tracer
+
+        def finish(rec: RequestRecord) -> None:
+            if tracer.enabled:
+                tracer.end_request(rec, self.engine.now)
+            on_done(rec)
 
         def respond(rec: RequestRecord) -> None:
             # Egress: village -> leaf -> NIC link -> top NIC -> fabric.
@@ -472,15 +504,22 @@ class Server:
                         lambda: self.fabric.send(self.server_id,
                                                  self.server_id,
                                                  RESPONSE_BYTES,
-                                                 lambda: on_done(rec)))))
+                                                 lambda: finish(rec),
+                                                 rec=rec),
+                        rec=rec)),
+                rec=rec)
 
         rec = self._make_request(app_name, app.root, respond)
+        if tracer.enabled:
+            tracer.begin_request(rec, self.engine.now)
         self.fabric.send(
             self.server_id, self.server_id, REQUEST_BYTES,
             lambda: self.top_nic.process(
                 REQUEST_BYTES,
                 lambda: self._dispatch_external(rec, internal=False,
-                                                on_reject=on_done)))
+                                                on_reject=finish),
+                rec=rec),
+            rec=rec)
 
     def _dispatch_external(self, rec: RequestRecord, internal: bool,
                            on_reject: Optional[Callable] = None) -> None:
@@ -500,6 +539,9 @@ class Server:
                 self.rejected += 1
                 rec.rejected = True
                 rec.finish_ns = self.engine.now
+                tracer = self.engine.tracer
+                if tracer.enabled:
+                    tracer.end_request(rec, self.engine.now, rejected=True)
                 if on_reject is not None:
                     on_reject(rec)
 
@@ -507,7 +549,7 @@ class Server:
             self._nic_hop_ns,
             lambda s, f: self.network.send(
                 self._leaf(cluster), self._village_node(village_id),
-                self._coh_bytes(REQUEST_BYTES), deliver))
+                self._coh_bytes(REQUEST_BYTES), deliver, rec=rec))
 
     def _maybe_scale(self, service: str) -> None:
         """Section 4.1: when a village fills to capacity, boot another

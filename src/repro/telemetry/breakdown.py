@@ -1,0 +1,158 @@
+"""Span-derived latency breakdown (the Figure 15 decomposition).
+
+For each *root* request we project every span of its RPC tree onto the
+request's wall-clock interval and attribute each instant to exactly one
+category by priority (compute wins over context switch, which wins over
+RQ wait, and so on down to storage; instants covered by no span fall
+into ``other``).  The per-category times of one request therefore sum
+to its end-to-end latency *exactly*, which is what makes the breakdown
+validatable against the latency recorder.
+
+Priority order: a request blocked on a nested RPC is represented by the
+child's own spans, so specific activity (a core computing, a scheduler
+saving state) must shadow enclosing wait spans (the parent's storage
+round trip, the child's whole ``request`` span).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: Attribution priority, most-specific first.  ``request`` spans are
+#: containers, not activity, and are excluded from attribution.
+PRIORITY: Tuple[str, ...] = (
+    "compute",
+    "context_switch",
+    "rq_wait",
+    "nic_dispatch",
+    "icn_hop",
+    "fabric",
+    "storage_rpc",
+)
+
+#: The residual bucket: wall time no span accounts for (NIC-link
+#: arbitration, retry backoff, scheduling gaps).
+OTHER = "other"
+
+BREAKDOWN_CATEGORIES: Tuple[str, ...] = PRIORITY + (OTHER,)
+
+
+def _sweep(intervals: List[Tuple[float, float, int]],
+           start: float, end: float) -> List[float]:
+    """Attribute [start, end] over categories by priority.
+
+    ``intervals`` holds (lo, hi, priority_index) items; returns summed
+    time per priority index with the residual in the final slot.
+    """
+    out = [0.0] * (len(PRIORITY) + 1)
+    if end <= start:
+        return out
+    events: List[Tuple[float, int, int]] = []
+    for lo, hi, cat in intervals:
+        lo, hi = max(lo, start), min(hi, end)
+        if hi > lo:
+            events.append((lo, +1, cat))
+            events.append((hi, -1, cat))
+    if not events:
+        out[-1] = end - start
+        return out
+    events.sort(key=lambda e: (e[0], e[1]))
+    active = [0] * len(PRIORITY)
+    prev = start
+    i = 0
+    n = len(events)
+    while i < n:
+        t = events[i][0]
+        if t > prev:
+            seg = t - prev
+            for ci in range(len(PRIORITY)):
+                if active[ci]:
+                    out[ci] += seg
+                    break
+            else:
+                out[-1] += seg
+            prev = t
+        while i < n and events[i][0] == t:
+            active[events[i][2]] += events[i][1]
+            i += 1
+    if end > prev:
+        # Tail after the last span: residual.
+        out[-1] += end - prev
+    return out
+
+
+def per_request_breakdown(tracer, after_ns: float = 0.0
+                          ) -> Dict[int, Dict[str, float]]:
+    """Per-category time for every completed, non-rejected root request.
+
+    ``after_ns`` mirrors the latency recorder's warm-up cutoff: only
+    requests *completing* at or after it are included, so the breakdown
+    population matches the run summary's.
+    """
+    cat_index = {c: i for i, c in enumerate(PRIORITY)}
+    # Spans grouped by the root request of their RPC tree.
+    by_root: Dict[int, List[Tuple[float, float, int]]] = {}
+    for span in tracer.spans:
+        if span.req_index is None:
+            continue
+        ci = cat_index.get(span.category)
+        if ci is None:
+            continue
+        root = tracer.root_of(span.req_index)
+        by_root.setdefault(root, []).append(
+            (span.start_ns, span.end_ns, ci))
+    out: Dict[int, Dict[str, float]] = {}
+    for info in tracer.requests:
+        if info.index != info.root_index:       # nested RPC, not a root
+            continue
+        if info.rejected or info.end_ns is None:
+            continue
+        if info.end_ns < after_ns:
+            continue
+        sums = _sweep(by_root.get(info.index, []),
+                      info.start_ns, info.end_ns)
+        row = {cat: sums[i] for i, cat in enumerate(PRIORITY)}
+        row[OTHER] = sums[-1]
+        out[info.index] = row
+    return out
+
+
+def aggregate_breakdown(tracer, after_ns: float = 0.0
+                        ) -> Optional[Dict[str, object]]:
+    """Mean per-category time and fractions across root requests.
+
+    Returns None when no request completed after the cutoff.  The
+    invariant ``sum(mean_ns.values()) == wall_mean_ns`` holds by
+    construction (up to float rounding).
+    """
+    rows = per_request_breakdown(tracer, after_ns=after_ns)
+    if not rows:
+        return None
+    n = len(rows)
+    mean_ns = {cat: 0.0 for cat in BREAKDOWN_CATEGORIES}
+    for row in rows.values():
+        for cat, v in row.items():
+            mean_ns[cat] += v
+    for cat in mean_ns:
+        mean_ns[cat] /= n
+    wall = sum(mean_ns.values())
+    fraction = {cat: (v / wall if wall > 0 else 0.0)
+                for cat, v in mean_ns.items()}
+    return {
+        "n_requests": n,
+        "wall_mean_ns": wall,
+        "mean_ns": mean_ns,
+        "fraction": fraction,
+    }
+
+
+def format_breakdown(agg: Dict[str, object]) -> str:
+    """Human-readable table of one aggregate breakdown."""
+    lines = [f"breakdown over {agg['n_requests']} requests "
+             f"(mean wall {agg['wall_mean_ns'] / 1e3:.1f} us)"]
+    mean_ns: Dict[str, float] = agg["mean_ns"]          # type: ignore
+    fraction: Dict[str, float] = agg["fraction"]        # type: ignore
+    for cat in BREAKDOWN_CATEGORIES:
+        lines.append(f"  {cat:15s} {mean_ns[cat] / 1e3:10.2f} us "
+                     f"{100.0 * fraction[cat]:6.1f}%")
+    return "\n".join(lines)

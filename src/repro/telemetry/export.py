@@ -1,0 +1,97 @@
+"""Trace exporters: Chrome trace-event JSON and flat JSON/CSV dumps.
+
+The Chrome format is the ``traceEvents`` JSON consumed by Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing``: complete events
+(``ph: "X"``) with microsecond timestamps.  Spans are laid out one
+track per *root request* (so each request's RPC tree reads as a little
+flame graph) plus component tracks for spans not attributed to any
+request.
+
+Exports are deterministic: track ids are assigned in first-use order
+and events are emitted in span-record order, so two identical runs
+produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Dict, List
+
+#: Trace-event pid used for all simulator events.
+PID = 1
+
+
+def _track_key(tracer, span) -> str:
+    if span.req_index is not None:
+        return f"req{tracer.root_of(span.req_index)}"
+    return span.track or span.category
+
+
+def chrome_trace(tracer) -> Dict[str, Any]:
+    """Build the trace-event dict for one tracer's spans."""
+    events: List[Dict[str, Any]] = [{
+        "ph": "M", "pid": PID, "tid": 0, "name": "process_name",
+        "args": {"name": "repro simulation"},
+    }]
+    tids: Dict[str, int] = {}
+    for span in tracer.spans:
+        key = _track_key(tracer, span)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len(tids) + 1
+            events.append({
+                "ph": "M", "pid": PID, "tid": tid, "name": "thread_name",
+                "args": {"name": key},
+            })
+        args: Dict[str, Any] = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.req_index is not None:
+            args["req"] = span.req_index
+        if span.track:
+            args["track"] = span.track
+        args.update(span.attrs)
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start_ns / 1000.0,       # trace-event ts is in us
+            "dur": span.duration_ns / 1000.0,
+            "pid": PID,
+            "tid": tid,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(tracer, path: str) -> int:
+    """Write the Chrome trace JSON; returns the number of X events."""
+    trace = chrome_trace(tracer)
+    with open(path, "w") as fh:
+        json.dump(trace, fh)
+    return sum(1 for e in trace["traceEvents"] if e["ph"] == "X")
+
+
+def spans_as_dicts(tracer) -> List[Dict[str, Any]]:
+    return [span.as_dict() for span in tracer.spans]
+
+
+def write_spans_json(tracer, path: str) -> None:
+    """Flat JSON dump: one object per span."""
+    with open(path, "w") as fh:
+        json.dump(spans_as_dicts(tracer), fh)
+
+
+CSV_FIELDS = ("span_id", "parent_id", "req", "category", "name", "track",
+              "start_ns", "end_ns", "duration_ns")
+
+
+def write_spans_csv(tracer, path: str) -> None:
+    """Flat CSV dump (attrs omitted)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=CSV_FIELDS,
+                                extrasaction="ignore")
+        writer.writeheader()
+        for span in tracer.spans:
+            writer.writerow(span.as_dict())

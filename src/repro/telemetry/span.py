@@ -1,0 +1,83 @@
+"""Span model for the tracing subsystem.
+
+A *span* is one timed interval of work attributed to a layer of the
+simulated stack.  Spans carry a trace-local request index and a parent
+link, so the spans of one client request (and of every nested RPC it
+fans out to) form a tree that mirrors the RPC tree.
+
+The category taxonomy is fixed so exporters and the breakdown analysis
+can rely on it:
+
+``request``
+    Root span of one service invocation, client-arrival to response
+    delivery (for nested calls: until the response reaches the parent).
+``nic_dispatch``
+    Time inside a NIC datapath (top-level NIC, L-NIC, R-NIC),
+    including queueing on the NIC port.
+``rq_wait``
+    Request Queue residency: entry READY (enqueue or wakeup) until a
+    core dequeues it.
+``compute``
+    A segment executing on a core.
+``context_switch``
+    State save/restore and software scheduler operations.
+``icn_hop``
+    An on-package ICN message, injection to delivery (all hops).
+``storage_rpc``
+    A blocking storage access, village egress to resume.
+``fabric``
+    An inter-server fabric message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+#: Every category a span may carry, in breakdown-priority order (see
+#: :mod:`repro.telemetry.breakdown`).
+CATEGORIES: Tuple[str, ...] = (
+    "request",
+    "compute",
+    "context_switch",
+    "rq_wait",
+    "nic_dispatch",
+    "icn_hop",
+    "fabric",
+    "storage_rpc",
+)
+
+
+@dataclass
+class Span:
+    """One completed timed interval (all times in ns)."""
+
+    span_id: int
+    name: str
+    category: str
+    start_ns: float
+    end_ns: float
+    track: str = ""                        # component lane for exporters
+    req_index: Optional[int] = None        # trace-local request index
+    parent_id: Optional[int] = None        # enclosing span (RPC-tree link)
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+    def as_dict(self) -> Dict[str, Any]:
+        d = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "req": self.req_index,
+            "category": self.category,
+            "name": self.name,
+            "track": self.track,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ns": self.duration_ns,
+        }
+        if self.attrs:
+            d["attrs"] = dict(self.attrs)
+        return d

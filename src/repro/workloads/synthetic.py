@@ -13,8 +13,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
-
 import numpy as np
 
 from repro.workloads.spec import STORAGE, AppSpec, CallSpec, ServiceSpec

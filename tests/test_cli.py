@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import SYSTEMS, _resolve_app, build_parser, main
@@ -35,6 +37,40 @@ def test_simulate_command(capsys):
           "--rps", "2000", "--servers", "1", "--duration", "0.008"])
     out = capsys.readouterr().out
     assert "P50 / P99" in out and "uManycore" in out
+
+
+def test_simulate_json_output(capsys):
+    main(["simulate", "--system", "umanycore", "--app", "UrlShort",
+          "--rps", "2000", "--servers", "1", "--duration", "0.008",
+          "--json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["system"] == "uManycore"
+    assert doc["completed"] > 0
+    assert doc["latency_ns"]["p99"] >= doc["latency_ns"]["p50"]
+    assert "breakdown" not in doc        # no tracer on a plain simulate
+
+
+def test_trace_command(tmp_path, capsys):
+    trace_file = tmp_path / "trace.json"
+    csv_file = tmp_path / "spans.csv"
+    main(["trace", "--system", "umanycore", "--app", "UrlShort",
+          "--rps", "2000", "--servers", "1", "--duration", "0.008",
+          "--out", str(trace_file), "--csv-out", str(csv_file)])
+    out = capsys.readouterr().out
+    assert "perfetto" in out and "compute" in out
+    doc = json.loads(trace_file.read_text())
+    cats = {e["cat"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert {"request", "compute", "nic_dispatch"} <= cats
+    assert csv_file.read_text().startswith("span_id,")
+
+
+def test_trace_command_json_breakdown(tmp_path, capsys):
+    main(["trace", "--system", "scaleout", "--app", "UrlShort",
+          "--rps", "2000", "--servers", "1", "--duration", "0.008",
+          "--out", str(tmp_path / "t.json"), "--json"])
+    doc = json.loads(capsys.readouterr().out)
+    fractions = doc["breakdown"]["fraction"]
+    assert sum(fractions.values()) == pytest.approx(1.0)
 
 
 def test_experiment_command_power(capsys):

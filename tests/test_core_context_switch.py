@@ -7,7 +7,6 @@ from repro.core import (
     HARDWARE_CS,
     LINUX_CS,
     SHINJUKU_CS,
-    ContextSwitchConfig,
     SchedulerDomain,
 )
 from repro.sim import Engine

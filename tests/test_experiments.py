@@ -16,6 +16,20 @@ def test_format_table():
     assert lines[1].strip("- ").replace("-", "") == ""  # separator line
 
 
+def test_format_table_empty_and_ragged_rows():
+    # No rows: still renders header + separator sized to the headers.
+    out = format_table(["name", "value"], [])
+    lines = out.splitlines()
+    assert len(lines) == 2
+    assert "name" in lines[0] and "value" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+    # Rows shorter than the header pad with blank cells instead of raising.
+    out = format_table(["a", "b", "c"], [["1"], ["2", "3"]])
+    assert len(out.splitlines()) == 4
+    # Numeric cells are stringified.
+    assert "42" in format_table(["n"], [[42]])
+
+
 def test_geomean():
     assert geomean([2.0, 8.0]) == pytest.approx(4.0)
     with pytest.raises(ValueError):

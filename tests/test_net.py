@@ -78,6 +78,80 @@ def test_nic_buffering_and_rejection():
     assert nic.buffered == 1
 
 
+def test_nic_overflow_buffer_then_reject_then_recover():
+    """Section 4.3 overflow path: fill the buffer, reject while full,
+    drain FIFO back to empty, then accept again."""
+    nic = TopLevelNic(Engine(), buffer_capacity=3)
+    for item in ("a", "b", "c"):
+        assert nic.try_buffer(item)
+    assert nic.buffered == 3
+    # Every attempt against a full buffer is a distinct rejection.
+    assert not nic.try_buffer("d")
+    assert not nic.try_buffer("e")
+    assert nic.rejected == 2
+    # Drain is FIFO and returns None once empty (not an exception).
+    assert [nic.drain_buffered() for __ in range(4)] == \
+        ["a", "b", "c", None]
+    assert nic.buffered == 0
+    # A drained buffer accepts again; past rejections stay counted.
+    assert nic.try_buffer("f")
+    assert nic.rejected == 2
+
+
+def test_nic_zero_capacity_buffer_rejects_everything():
+    nic = TopLevelNic(Engine(), buffer_capacity=0)
+    assert not nic.try_buffer("a")
+    assert nic.rejected == 1 and nic.buffered == 0
+    assert nic.drain_buffered() is None
+
+
+def test_rnic_default_config_includes_transport_overhead():
+    """RNic() without a config models the lossy-network transport cost
+    (200ns); an explicit config takes whatever overhead it specifies,
+    including zero."""
+    assert RNic(Engine()).config.transport_overhead_ns == 200.0
+    assert RNic(Engine(), NicConfig()).config.transport_overhead_ns == 0.0
+    eng = Engine()
+    lnic = LNic(eng)
+    rnic = RNic(eng)
+    times = {}
+    lnic.process(512, lambda: times.__setitem__("l", eng.now))
+    rnic.process(512, lambda: times.__setitem__("r", eng.now))
+    eng.run()
+    assert times["r"] == pytest.approx(times["l"] + 200.0)
+
+
+def test_rnic_transport_overhead_serializes_with_port():
+    """Overhead is part of the port service time, so back-to-back
+    messages pay it back-to-back (no pipelining through the port)."""
+    eng = Engine()
+    rnic = RNic(eng, NicConfig(rpc_processing_ns=100.0,
+                               bytes_per_ns=100.0,
+                               transport_overhead_ns=200.0))
+    done = []
+    rnic.process(1000, lambda: done.append(eng.now))
+    rnic.process(1000, lambda: done.append(eng.now))
+    eng.run()
+    per_msg = 100.0 + 200.0 + 10.0
+    assert done == [pytest.approx(per_msg), pytest.approx(2 * per_msg)]
+
+
+def test_nics_emit_dispatch_spans_when_traced():
+    from repro.telemetry import Tracer
+
+    eng = Engine()
+    eng.tracer = Tracer()
+    lnic = LNic(eng, NicConfig(), name="v0.lnic")
+    top = TopLevelNic(eng, NicConfig(), name="tnic")
+    lnic.process(512, lambda: None)
+    top.process(512, lambda: None)
+    eng.run()
+    spans = {(s.track, s.category) for s in eng.tracer.spans}
+    assert ("v0.lnic", "nic_dispatch") in spans
+    assert ("tnic", "nic_dispatch") in spans
+    assert all(s.duration_ns > 0 for s in eng.tracer.spans)
+
+
 def test_fabric_latency_and_serialization():
     eng = Engine()
     fabric = InterServerFabric(

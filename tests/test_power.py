@@ -11,7 +11,6 @@ from repro.power import (
     scale_area,
     scale_power,
     sram_area_mm2,
-    sram_leakage_w,
     sram_read_energy_pj,
     system_budget,
 )

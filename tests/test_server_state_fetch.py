@@ -4,7 +4,6 @@ internals."""
 import dataclasses
 
 import numpy as np
-import pytest
 
 from repro.core.request import RequestRecord
 from repro.net.fabric import InterServerFabric, StorageBackend

@@ -7,7 +7,6 @@ from repro.systems import (
     SERVERCLASS,
     SERVERCLASS_128,
     UMANYCORE,
-    SystemConfig,
     ablation_ladder,
     umanycore_variant,
 )

@@ -1,9 +1,8 @@
 """Tests for the Server assembly and executor behaviour."""
 
 import numpy as np
-import pytest
 
-from repro.net.fabric import FabricConfig, InterServerFabric, StorageBackend
+from repro.net.fabric import InterServerFabric, StorageBackend
 from repro.sim import Engine
 from repro.systems import SCALEOUT, SERVERCLASS, UMANYCORE, Server
 from repro.workloads import SOCIAL_NETWORK_APPS
@@ -129,7 +128,6 @@ def test_nested_service_calls_complete():
 
 def test_cross_server_calls_route_through_fabric():
     engine = Engine()
-    rng = np.random.default_rng(0)
     fabric = InterServerFabric(engine, 2)
     storage = StorageBackend(engine, np.random.default_rng(1))
     app = SOCIAL_NETWORK_APPS["Text"]
