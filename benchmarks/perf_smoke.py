@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Perf smoke for the fault-injection/resilience layer.
+
+Runs one fixed mid-load simulation twice — clean, then with a canned
+fault schedule + resilience policy — and records wall-time and p99 into
+``BENCH_faults.json`` (``--update-baseline``) or checks the measurement
+against the committed baseline (``--check``, the CI mode).
+
+Absolute wall-times are host-dependent, so the committed gating number
+is the *overhead ratio* (faulted wall / clean wall measured on the same
+host in the same process): CI fails when the measured ratio regresses
+more than ``--tolerance`` (default 25%) over the baseline ratio.  The
+absolute numbers are still recorded for eyeballing, and p99 is checked
+exactly — it is deterministic, so any drift is a behaviour change.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py --check
+    PYTHONPATH=src python benchmarks/perf_smoke.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.faults import FaultSchedule, ResilienceConfig  # noqa: E402
+from repro.systems.cluster import ClusterSimulation       # noqa: E402
+from repro.systems.configs import UMANYCORE               # noqa: E402
+from repro.workloads.deathstar import social_network_app  # noqa: E402
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_faults.json"
+
+#: Fixed mid-load point: reduced-scale uManycore at ~60% of saturation.
+CONFIG = replace(UMANYCORE, n_cores=128, n_clusters=8)
+RPS = 15_000.0
+DURATION_S = 0.008
+SEED = 11
+REPEATS = 3
+
+
+def _schedule() -> FaultSchedule:
+    """A canned outage mix exercising every injection path."""
+    return FaultSchedule(detection_ns=100_000.0) \
+        .fail_village(0, 1, at_ns=2e6, recover_at_ns=5e6) \
+        .degrade_village(0, 3, at_ns=1e6, factor=4.0, recover_at_ns=6e6) \
+        .fail_nic(0, 5, "rnic", at_ns=3e6, recover_at_ns=4e6)
+
+
+def _run(faulted: bool):
+    sim = ClusterSimulation(CONFIG, social_network_app("Text"),
+                            rps_per_server=RPS, n_servers=1,
+                            duration_s=DURATION_S, seed=SEED)
+    if faulted:
+        sim.install_faults(_schedule(), ResilienceConfig(
+            timeout_ns=600_000.0, max_retries=3,
+            hedge_delay_ns=1_000_000.0))
+    t0 = time.perf_counter()
+    result = sim.run()
+    return time.perf_counter() - t0, result
+
+
+def measure() -> dict:
+    """Best-of-N wall for each mode (p99 is identical across repeats)."""
+    clean_walls, faulted_walls = [], []
+    clean = faulted = None
+    for __ in range(REPEATS):
+        wall, clean = _run(faulted=False)
+        clean_walls.append(wall)
+        wall, faulted = _run(faulted=True)
+        faulted_walls.append(wall)
+    clean_wall = min(clean_walls)
+    faulted_wall = min(faulted_walls)
+    return {
+        "clean_wall_s": round(clean_wall, 4),
+        "faulted_wall_s": round(faulted_wall, 4),
+        "overhead_ratio": round(faulted_wall / clean_wall, 4),
+        "clean_p99_us": round(clean.p99_ns / 1e3, 3),
+        "faulted_p99_us": round(faulted.p99_ns / 1e3, 3),
+        "faulted_completed": faulted.completed,
+        "faulted_retries": int(faulted.fault_stats["rpc_retries"]),
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true",
+                      help="compare against the committed baseline (CI)")
+    mode.add_argument("--update-baseline", action="store_true",
+                      help="rewrite BENCH_faults.json with this host's "
+                           "measurement")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed overhead-ratio regression (default 0.25)")
+    args = ap.parse_args()
+
+    measured = measure()
+    print("measured:", json.dumps(measured, indent=2))
+
+    if args.update_baseline:
+        doc = {
+            "schema": 1,
+            "bench": "faults_mid_load_smoke",
+            "workload": {"system": CONFIG.name, "n_cores": CONFIG.n_cores,
+                         "rps_per_server": RPS, "duration_s": DURATION_S,
+                         "seed": SEED, "repeats": REPEATS},
+            "baseline": measured,
+            "tolerance": {"overhead_ratio_regression": args.tolerance},
+        }
+        BASELINE_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    doc = json.loads(BASELINE_PATH.read_text())
+    base = doc["baseline"]
+    tol = doc["tolerance"]["overhead_ratio_regression"]
+    failures = []
+    limit = base["overhead_ratio"] * (1.0 + tol)
+    if measured["overhead_ratio"] > limit:
+        failures.append(
+            f"fault-mode wall-time overhead regressed: "
+            f"{measured['overhead_ratio']:.3f}x > "
+            f"{limit:.3f}x allowed ({base['overhead_ratio']:.3f}x "
+            f"baseline + {tol:.0%})")
+    for key in ("clean_p99_us", "faulted_p99_us", "faulted_completed",
+                "faulted_retries"):
+        if measured[key] != base[key]:
+            failures.append(f"deterministic output drifted: {key} "
+                            f"{measured[key]} != baseline {base[key]}")
+    if failures:
+        print("PERF SMOKE FAILED")
+        for f in failures:
+            print(" -", f)
+        return 1
+    print(f"perf smoke OK (overhead {measured['overhead_ratio']:.3f}x, "
+          f"limit {limit:.3f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,7 @@ SYSTEMS = {
 EXPERIMENTS = [
     "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
     "fig09", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-    "sec68", "power", "all",
+    "figF", "sec68", "power", "all",
 ]
 
 
@@ -45,15 +45,73 @@ def _resolve_app(name: str):
                      f"{list(SYNTHETIC_DISTRIBUTIONS)}")
 
 
+def _fault_setup(args, sim):
+    """Translate the fault CLI flags into (schedule, resilience)."""
+    from repro.faults import FaultSchedule, ResilienceConfig, \
+        fault_inventory, merge
+
+    at_ns = args.fault_at_ms * 1e6
+    rec_ns = args.recover_at_ms * 1e6 \
+        if args.recover_at_ms is not None else None
+    servers = range(sim.n_servers) if args.fault_server < 0 \
+        else [args.fault_server]
+    sched = FaultSchedule(detection_ns=args.detection_us * 1e3)
+    for v in args.fail_village:
+        for s in servers:
+            sched.fail_village(s, v, at_ns, rec_ns)
+    for spec in args.fail_link:
+        try:
+            u, v = (part.strip() for part in spec.split(","))
+        except ValueError:
+            raise SystemExit(f"--fail-link wants U,V node names, got {spec!r}")
+        for s in servers:
+            sched.fail_link(s, u, v, at_ns, rec_ns)
+    for spec in args.fail_nic:
+        try:
+            v, which = spec.split(":")
+        except ValueError:
+            raise SystemExit(f"--fail-nic wants V:lnic|rnic, got {spec!r}")
+        for s in servers:
+            sched.fail_nic(s, int(v), which, at_ns, rec_ns)
+    for spec in args.degrade_village:
+        try:
+            v, factor = spec.split(":")
+        except ValueError:
+            raise SystemExit(
+                f"--degrade-village wants V:FACTOR, got {spec!r}")
+        for s in servers:
+            sched.degrade_village(s, int(v), at_ns, float(factor), rec_ns)
+    if args.fault_rate > 0:
+        inv = fault_inventory(sim.servers)
+        sched = merge([sched, FaultSchedule.random(
+            seed=args.seed, duration_ns=args.duration * 1e9,
+            rate_per_s=args.fault_rate,
+            detection_ns=args.detection_us * 1e3, **inv)])
+    resilience = None
+    if sched or args.hedge_us > 0 or args.timeout_us is not None:
+        resilience = ResilienceConfig(
+            timeout_ns=(args.timeout_us or 2_000.0) * 1e3,
+            max_retries=args.retries,
+            hedge_delay_ns=args.hedge_us * 1e3)
+    return sched, resilience
+
+
 def _run_simulation(args, tracer=None, metrics_interval_ns=None):
-    from repro.systems.cluster import simulate
+    from repro.systems.cluster import ClusterSimulation
 
     config = SYSTEMS[args.system]
     app = _resolve_app(args.app)
-    return simulate(config, app, rps_per_server=args.rps,
-                    n_servers=args.servers, duration_s=args.duration,
-                    seed=args.seed, arrivals=args.arrivals, tracer=tracer,
-                    metrics_interval_ns=metrics_interval_ns)
+    sim = ClusterSimulation(config, app, rps_per_server=args.rps,
+                            n_servers=args.servers, duration_s=args.duration,
+                            seed=args.seed, arrivals=args.arrivals,
+                            tracer=tracer,
+                            metrics_interval_ns=metrics_interval_ns)
+    schedule, resilience = _fault_setup(args, sim)
+    if schedule or resilience is not None:
+        sim.install_faults(schedule, resilience)
+        if getattr(args, "describe_faults", False) and not args.json:
+            print(schedule.describe())
+    return sim.run()
 
 
 def _print_summary(result, json_mode: bool) -> None:
@@ -69,6 +127,17 @@ def _print_summary(result, json_mode: bool) -> None:
     print(f"mean       : {s.mean / 1e3:.1f} us")
     print(f"P50 / P99  : {s.p50 / 1e3:.1f} / {s.p99 / 1e3:.1f} us")
     print(f"tail/avg   : {s.tail_to_average:.2f}")
+    if result.fault_stats is not None:
+        fs = result.fault_stats
+        print(f"failed     : {result.failed} "
+              f"(availability {result.availability:.4f}, "
+              f"goodput {result.goodput_rps:.0f} RPS)")
+        print(f"resilience : {int(fs['rpc_timeouts'])} timeouts, "
+              f"{int(fs['rpc_retries'])} retries, "
+              f"{int(fs['rpc_hedges'])} hedges, "
+              f"{int(fs['blackholed'])} blackholed, "
+              f"{int(fs['icn_dropped'])}/{int(fs['nic_dropped'])} "
+              f"icn/nic drops")
     bd = result.breakdown()
     if bd is not None:
         from repro.telemetry import format_breakdown
@@ -115,6 +184,24 @@ def cmd_trace(args) -> None:
     _print_summary(result, False)
 
 
+def cmd_faults(args) -> None:
+    """Fault-injection run + resilience report.
+
+    With no explicit targets this draws a random schedule over the whole
+    component inventory at ``--fault-rate`` failures/s.
+    """
+    result = _run_simulation(args)
+    _print_summary(result, args.json)
+    if args.json or result.fault_stats is None:
+        return
+    inj = result.fault_stats.get("injected")
+    if inj:
+        kinds = ", ".join(f"{k}={v}"
+                          for k, v in sorted(inj["by_kind"].items()))
+        print(f"injected   : {inj['injected']}/{inj['scheduled']} events"
+              + (f" ({kinds})" if kinds else ""))
+
+
 def cmd_experiment(args) -> None:
     import importlib
 
@@ -127,6 +214,7 @@ def cmd_experiment(args) -> None:
         "fig15": "fig15_breakdown", "fig16": "fig16_avg_latency",
         "fig17": "fig17_tail_to_avg", "fig18": "fig18_throughput",
         "fig19": "fig19_sensitivity", "fig20": "fig20_synthetic",
+        "figF": "figF_faults",
         "sec68": "sec68_iso_area", "power": "power_area",
         "all": "run_all",
     }
@@ -165,8 +253,47 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", action="store_true",
                        help="print the run summary as JSON")
 
+    def add_fault_args(p, default_rate: float = 0.0) -> None:
+        g = p.add_argument_group(
+            "faults", "deterministic fault injection (repro.faults); any "
+                      "of these arms the timeout/retry resilience layer")
+        g.add_argument("--fail-village", type=int, action="append",
+                       default=[], metavar="V",
+                       help="fail village V (repeatable)")
+        g.add_argument("--fail-link", action="append", default=[],
+                       metavar="U,V",
+                       help="fail the ICN link between nodes U and V, "
+                            "e.g. 'leaf0:0,spine0:0' (repeatable)")
+        g.add_argument("--fail-nic", action="append", default=[],
+                       metavar="V:lnic|rnic",
+                       help="fail village V's local or remote NIC")
+        g.add_argument("--degrade-village", action="append", default=[],
+                       metavar="V:FACTOR",
+                       help="gray failure: run village V FACTORx slower")
+        g.add_argument("--fault-at-ms", type=float, default=0.0,
+                       help="when the explicit faults strike (sim ms)")
+        g.add_argument("--recover-at-ms", type=float, default=None,
+                       help="when they recover (default: never)")
+        g.add_argument("--fault-server", type=int, default=-1,
+                       metavar="S",
+                       help="server the explicit faults hit (-1 = all)")
+        g.add_argument("--fault-rate", type=float, default=default_rate,
+                       help="also draw a random schedule at this many "
+                            "failures/s over the whole inventory "
+                            f"(0 disables; default {default_rate:g})")
+        g.add_argument("--detection-us", type=float, default=100.0,
+                       help="ServiceMap health-check detection lag")
+        g.add_argument("--timeout-us", type=float, default=None,
+                       help="per-attempt RPC timeout (default 2000)")
+        g.add_argument("--retries", type=int, default=3,
+                       help="max RPC retries after the first attempt")
+        g.add_argument("--hedge-us", type=float, default=0.0,
+                       help="send a hedged duplicate RPC after this "
+                            "delay (0 disables hedging)")
+
     sim = sub.add_parser("simulate", help="run one cluster simulation")
     add_run_args(sim)
+    add_fault_args(sim)
     sim.add_argument("--trace-out", metavar="FILE", default=None,
                      help="also trace the run and write a Chrome "
                           "trace-event file")
@@ -175,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     tr = sub.add_parser(
         "trace", help="run one traced simulation and export the spans")
     add_run_args(tr)
+    add_fault_args(tr)
     tr.add_argument("--out", required=True, metavar="FILE",
                     help="Chrome trace-event JSON output path "
                          "(Perfetto / chrome://tracing)")
@@ -184,6 +312,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="gauge sampling period in simulated us "
                          "(0 disables sampling)")
     tr.set_defaults(func=cmd_trace)
+
+    flt = sub.add_parser(
+        "faults", help="run a fault-injection experiment and report "
+                       "availability, goodput and resilience counters")
+    add_run_args(flt)
+    add_fault_args(flt, default_rate=200.0)
+    flt.add_argument("--quiet-schedule", dest="describe_faults",
+                     action="store_false", default=True,
+                     help="suppress the fault-schedule listing")
+    flt.set_defaults(func=cmd_faults)
 
     exp = sub.add_parser("experiment", help="regenerate a paper figure")
     exp.add_argument("id", choices=EXPERIMENTS)

@@ -44,6 +44,7 @@ class RequestRecord:
     finish_ns: Optional[float] = None
     queue_wait_ns: float = 0.0
     rejected: bool = False
+    failed: bool = False                       # lost to a fault (retries exhausted)
     req_id: int = field(default_factory=lambda: next(_ids))
 
     @property

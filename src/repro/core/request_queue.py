@@ -51,6 +51,10 @@ class RequestQueue:
         self.clock = clock
         self.wait_ns_total = 0.0
         self.dequeues = 0
+        # Fault epoch: bumped by ``purge`` (village failure wipes the RQ
+        # and its Request Context Memory).  Entries stamped with an older
+        # epoch are stale — late wakeups/completions for them are ignored.
+        self.epoch = 0
 
     def set_clock(self, clock) -> None:
         """Attach a time source for RQ-wait accounting."""
@@ -89,6 +93,7 @@ class RequestQueue:
         rec.status = RequestStatus.READY
         rec._rq_seq = self.enqueued
         rec._rq_soft = False
+        rec._rq_epoch = self.epoch
         self._stamp_ready(rec)
         heapq.heappush(self._ready_heap,
                        (self.policy.key(rec), rec.req_id, rec))
@@ -108,6 +113,7 @@ class RequestQueue:
         rec.status = RequestStatus.READY
         rec._rq_seq = self.enqueued
         rec._rq_soft = True
+        rec._rq_epoch = self.epoch
         self._stamp_ready(rec)
         heapq.heappush(self._ready_heap,
                        (self.policy.key(rec), rec.req_id, rec))
@@ -181,6 +187,27 @@ class RequestQueue:
                 self._size -= 1
             else:
                 break
+
+    def is_stale(self, rec: RequestRecord) -> bool:
+        """Was ``rec``'s entry wiped by a purge since it was enqueued?"""
+        return getattr(rec, "_rq_epoch", self.epoch) != self.epoch
+
+    def purge(self) -> int:
+        """Village failure: drop every entry (slots *and* soft entries).
+
+        Blocked soft entries hold no enumerable slot, so instead of
+        chasing them the queue bumps its epoch; any later wakeup or
+        completion for a pre-purge entry is recognised as stale and
+        ignored.  Returns the number of entries dropped.
+        """
+        dropped = self._size + self.soft_entries
+        self._slots = [None] * self.capacity
+        self._head = 0
+        self._size = 0
+        self.soft_entries = 0
+        self._ready_heap.clear()
+        self.epoch += 1
+        return dropped
 
     def entries(self) -> List[RequestRecord]:
         """Live entries from head to tail (diagnostics)."""

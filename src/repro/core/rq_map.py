@@ -129,6 +129,12 @@ class PartitionedRequestQueue:
     def complete(self, rec: RequestRecord) -> None:
         self.partition(rec.service).complete(rec)
 
+    def is_stale(self, rec: RequestRecord) -> bool:
+        return self.partition(rec.service).is_stale(rec)
+
+    def purge(self) -> int:
+        return sum(q.purge() for q in self._partitions.values())
+
     def entries(self) -> List[RequestRecord]:
         out: List[RequestRecord] = []
         for q in self._partitions.values():

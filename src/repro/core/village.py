@@ -37,6 +37,7 @@ class Core:
     busy: bool = False
     requests_run: int = 0
     busy_ns: float = 0.0
+    failed: bool = False                # faulted out of the dispatch pool
 
 
 class Village:
@@ -76,11 +77,41 @@ class Village:
         self.steal_overhead_ns = steal_overhead_ns
         self.completed = 0
         self.steals = 0
+        #: Fault state.  A failed village blackholes: it acks submissions
+        #: (the sender cannot tell yet — that is the detection lag) but
+        #: drops them; its RQ is purged on failure.  ``degrade_factor``
+        #: models gray failures — every segment runs that much slower.
+        self.failed = False
+        self.degrade_factor = 1.0
+        self.blackholed = 0
+
+    # ------------------------------------------------------------ fault state
+
+    def fail(self) -> None:
+        """Hard failure: purge the RQ, blackhole everything from now on."""
+        if self.failed:
+            return
+        self.failed = True
+        self.blackholed += self.rq.purge()
+
+    def recover(self) -> None:
+        self.failed = False
+        self.degrade_factor = 1.0
+        for core in self.cores:
+            core.busy = False      # contexts died with the purge
+        self._kick()
 
     # ------------------------------------------------------------ ingress
 
     def submit(self, rec: RequestRecord) -> bool:
         """Enqueue an arriving request; False when the RQ is full."""
+        if self.failed:
+            # Dead hardware acks nothing, but the sender cannot know that
+            # until its health check fires: the request just vanishes.
+            # Timeout/retry at the RPC layer is what rescues it.
+            self.blackholed += 1
+            rec.village = self.village_id
+            return True
         if not self.rq.enqueue(rec):
             return False
         rec.village = self.village_id
@@ -96,6 +127,10 @@ class Village:
 
     def submit_soft(self, rec: RequestRecord) -> None:
         """Admit an internal request via NIC buffering (no RQ slot)."""
+        if self.failed:
+            self.blackholed += 1
+            rec.village = self.village_id
+            return
         self.rq.soft_enqueue(rec)
         rec.village = self.village_id
         rec._owner_village = self
@@ -105,8 +140,16 @@ class Village:
     def make_ready(self, rec: RequestRecord) -> None:
         """An RPC response arrived: entry goes blocked -> ready (wakeup)."""
         owner = getattr(rec, "_owner_village", self)
+        if owner.failed or owner.rq.is_stale(rec):
+            # The entry's context memory was purged by a village failure;
+            # a late response has nothing to wake up.
+            owner.blackholed += 1
+            return
 
         def ready():
+            if owner.failed or owner.rq.is_stale(rec):
+                owner.blackholed += 1
+                return
             owner.rq.mark_ready(rec)
             self._kick()
 
@@ -115,8 +158,10 @@ class Village:
     # ----------------------------------------------------------- dispatch
 
     def _kick(self) -> None:
+        if self.failed:
+            return
         for core in self.cores:
-            if not core.busy:
+            if not core.busy and not core.failed:
                 dispatched = self._try_dispatch(core)
                 # An unpartitioned core failing to dequeue means the RQ
                 # has no ready work for anyone — stop scanning cores.
@@ -124,7 +169,7 @@ class Village:
                     break
 
     def _try_dispatch(self, core: Core) -> bool:
-        if core.busy:
+        if core.busy or core.failed or self.failed:
             return False
         rec = self.rq.dequeue(core.service)
         if rec is None and core.service is not None and self.core_borrowing:
@@ -170,6 +215,8 @@ class Village:
 
     def _execute(self, core: Core, rec: RequestRecord) -> None:
         duration = self.executor.segment_time_ns(rec, core)
+        if self.degrade_factor != 1.0:       # gray failure: slow node
+            duration *= self.degrade_factor
         rec.last_core = (self.village_id, core.core_id)
         rec.has_run = True
         core.busy_ns += duration
@@ -182,6 +229,15 @@ class Village:
         self.engine.schedule(duration, self._segment_finished, core, rec)
 
     def _segment_finished(self, core: Core, rec: RequestRecord) -> None:
+        owner = getattr(rec, "_owner_village", self)
+        if self.failed or owner.failed or owner.rq.is_stale(rec):
+            # The village (or the entry's home RQ) died mid-segment: the
+            # request is gone.  Free the core if *this* village is alive.
+            owner.blackholed += 1
+            core.busy = False
+            if not self.failed:
+                self._try_dispatch(core)
+            return
         self.executor.segment_done(rec, self, core)
 
     # ----------------------------------------- executor-driven transitions

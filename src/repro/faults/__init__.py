@@ -1,0 +1,32 @@
+"""Deterministic fault injection and resilience (tail under failures).
+
+The paper's thesis — tail latency at scale — meets its hardest test when
+components fail.  This package adds a seed-deterministic fault model on
+top of the simulator:
+
+* :class:`FaultSchedule` — a concrete, replayable list of fail/recover/
+  degrade events for villages, cores, ICN links and village NICs.
+* :class:`FaultInjector` — turns the schedule into engine events and
+  flips component state (villages purge their RQ and blackhole; links
+  disappear from the topology; NICs drop traffic).
+* :class:`ResilienceConfig` — the system-software response: per-call
+  timeout, capped exponential-backoff retries, and optional request
+  hedging, threaded through the RPC layer by the server.
+
+An empty schedule and a ``None`` resilience config are the default
+everywhere, and in that mode every code path is byte-identical to a
+simulator that never loaded this package.
+"""
+
+from repro.faults.injector import FaultInjector, fault_inventory
+from repro.faults.resilience import ResilienceConfig
+from repro.faults.schedule import FaultEvent, FaultSchedule, merge
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "ResilienceConfig",
+    "fault_inventory",
+    "merge",
+]

@@ -1,0 +1,126 @@
+"""Applies a :class:`~repro.faults.schedule.FaultSchedule` to a cluster.
+
+The injector walks the schedule once at install time, turning every
+fault event into an engine event at its absolute timestamp.  Applying a
+fault is pure state flipping on the simulated components — villages,
+cores, topology links, village NICs — so injection itself costs nothing
+at simulation time and preserves event-order determinism.
+
+Detection lag: the ServiceMap health checker (the top-level NIC) only
+learns about a village failure/recovery ``schedule.detection_ns`` after
+it happens.  Inside that window the dispatcher keeps sending requests
+into the dead village; they blackhole, and the RPC layer's timeout and
+retry machinery is what gets them re-served elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.sim.engine import Engine
+
+
+class FaultInjector:
+    """Schedules and applies one fault schedule over a set of servers."""
+
+    def __init__(self, engine: Engine, servers: Sequence,
+                 schedule: FaultSchedule):
+        self.engine = engine
+        self.servers = list(servers)
+        self.schedule = schedule
+        self.injected = 0
+        self.by_kind: Dict[str, int] = {}
+        self._installed = False
+
+    # ------------------------------------------------------------- install
+
+    def install(self) -> None:
+        """Schedule every fault event (idempotent)."""
+        if self._installed:
+            return
+        self._installed = True
+        for event in self.schedule.events:
+            self.engine.schedule_at(event.time_ns, self._apply, event)
+
+    # -------------------------------------------------------------- apply
+
+    def _apply(self, event: FaultEvent) -> None:
+        server = self._server(event.target[0])
+        handler = getattr(self, f"_apply_{event.kind}")
+        handler(server, event)
+        self.injected += 1
+        self.by_kind[event.kind] = self.by_kind.get(event.kind, 0) + 1
+
+    def _server(self, server_id: int):
+        try:
+            return self.servers[server_id]
+        except IndexError:
+            raise ValueError(
+                f"fault targets server {server_id} but the cluster has "
+                f"{len(self.servers)} servers") from None
+
+    def _apply_village(self, server, event: FaultEvent) -> None:
+        __, village_id = event.target
+        village = server.villages[village_id]
+        lag = self.schedule.detection_ns
+        if event.action == "fail":
+            village.fail()
+            self.engine.schedule(lag, server.top_nic.mark_village_down,
+                                 village_id)
+        elif event.action == "recover":
+            village.recover()
+            self.engine.schedule(lag, server.top_nic.mark_village_up,
+                                 village_id)
+        else:  # degrade — gray failure, invisible to the health checker
+            village.degrade_factor = event.factor
+
+    def _apply_core(self, server, event: FaultEvent) -> None:
+        __, village_id, core_id = event.target
+        village = server.villages[village_id]
+        core = village.cores[core_id]
+        if event.action == "fail":
+            core.failed = True
+        else:
+            core.failed = False
+            village._kick()
+
+    def _apply_link(self, server, event: FaultEvent) -> None:
+        __, u, v = event.target
+        if event.action == "fail":
+            server.topology.fail_link(u, v)
+        else:
+            server.topology.recover_link(u, v)
+
+    def _apply_nic(self, server, event: FaultEvent) -> None:
+        __, village_id, which = event.target
+        nic = (server.lnics if which == "lnic" else server.rnics)[village_id]
+        if event.action == "fail":
+            nic.fail()
+        else:
+            nic.recover()
+
+    # -------------------------------------------------------------- stats
+
+    def stats(self) -> dict:
+        return {"injected": self.injected, "by_kind": dict(self.by_kind),
+                "scheduled": len(self.schedule),
+                "detection_ns": self.schedule.detection_ns}
+
+
+def fault_inventory(servers: Sequence) -> Dict[str, List]:
+    """Enumerate every faultable component of a cluster — the input
+    :meth:`FaultSchedule.random` draws from."""
+    villages: List = []
+    links: List = []
+    nics: List = []
+    for server in servers:
+        sid = server.server_id
+        for v in range(len(server.villages)):
+            villages.append((sid, v))
+            nics.append((sid, v, "lnic"))
+            nics.append((sid, v, "rnic"))
+        for (u, v) in server.topology.links:
+            if u < v:      # links are bidirectional pairs; count each once
+                links.append((sid, u, v))
+    return {"villages": villages, "links": links, "nics": nics}

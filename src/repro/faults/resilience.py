@@ -1,0 +1,73 @@
+"""Resilience policy: timeout, capped exponential retry, hedging.
+
+These knobs configure the RPC layer's response to lost or slow calls
+(:mod:`repro.systems.server` threads them through every blocking call).
+They are deliberately *not* part of :class:`~repro.systems.configs.
+SystemConfig`: resilience is system software, orthogonal to the
+architecture being simulated, and it is only armed when a fault
+schedule (or an explicit config) is supplied — the fault-free paper
+experiments never pay for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Timeout/retry/hedge parameters for RPCs and client requests.
+
+    ``timeout_ns``
+        How long a caller waits for a downstream response before
+        declaring the attempt lost.  Must sit well above the healthy
+        p99 or retries amplify load (retry storms).
+    ``max_retries``
+        Re-issues after the first attempt; when exhausted the caller
+        resumes with the request marked failed (error response).
+    ``backoff_base_ns`` / ``backoff_cap_ns``
+        Capped exponential backoff between attempts:
+        ``min(base * 2**attempt, cap)``.
+    ``hedge_delay_ns``
+        0 disables hedging.  Otherwise, an attempt still outstanding
+        after this delay is duplicated to a different healthy instance
+        and the first response wins (tail-at-scale hedged requests).
+    ``root_timeout_ns``
+        Deadline for a whole external request; defaults to
+        ``timeout_ns * (max_retries + 2)`` so one nested call can burn
+        its full retry budget before the root gives up.
+    """
+
+    timeout_ns: float = 2_000_000.0
+    max_retries: int = 3
+    backoff_base_ns: float = 100_000.0
+    backoff_cap_ns: float = 1_600_000.0
+    hedge_delay_ns: float = 0.0
+    root_timeout_ns: Optional[float] = None
+    root_max_retries: int = 1
+
+    def __post_init__(self):
+        if self.timeout_ns <= 0:
+            raise ValueError("timeout_ns must be positive")
+        if self.max_retries < 0 or self.root_max_retries < 0:
+            raise ValueError("retry counts must be >= 0")
+        if self.backoff_base_ns < 0 or self.backoff_cap_ns < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.hedge_delay_ns < 0:
+            raise ValueError("hedge_delay_ns must be >= 0")
+
+    def backoff_ns(self, attempt: int) -> float:
+        """Backoff before re-issue number ``attempt`` (0-based)."""
+        return min(self.backoff_base_ns * (2.0 ** attempt),
+                   self.backoff_cap_ns)
+
+    @property
+    def effective_root_timeout_ns(self) -> float:
+        if self.root_timeout_ns is not None:
+            return self.root_timeout_ns
+        return self.timeout_ns * (self.max_retries + 2)
+
+    @property
+    def hedging(self) -> bool:
+        return self.hedge_delay_ns > 0

@@ -1,0 +1,223 @@
+"""Deterministic fault schedules: what fails, when, and for how long.
+
+A :class:`FaultSchedule` is a plain, sorted list of :class:`FaultEvent`
+records — no randomness happens at injection time, so a simulation under
+faults is still a pure function of ``(config, app, load, seed, schedule)``.
+Randomized schedules exist, but the randomness is consumed *up front* by
+:meth:`FaultSchedule.random` from its own seed, producing a concrete
+event list that can be printed, diffed, and replayed.
+
+Component addressing (the ``target`` tuple):
+
+``village``  ``(server_id, village_id)``
+``core``     ``(server_id, village_id, core_id)``
+``link``     ``(server_id, u, v)`` — an on-package ICN link by node name
+``nic``      ``(server_id, village_id, "lnic" | "rnic")``
+
+Actions:
+
+``fail``     the component stops; traffic through it blackholes
+``recover``  the component returns to service
+``degrade``  gray failure: the component keeps working ``factor``×
+             slower (villages only; ``factor=1.0`` restores full speed)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+KINDS = ("village", "core", "link", "nic")
+ACTIONS = ("fail", "recover", "degrade")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled change to a component's health."""
+
+    time_ns: float
+    kind: str                      # see KINDS
+    action: str                    # see ACTIONS
+    target: Tuple = ()
+    factor: float = 1.0            # degrade slowdown (>1 = slower)
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if self.time_ns < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.time_ns}")
+        if self.action == "degrade":
+            if self.kind != "village":
+                raise ValueError("degrade is only defined for villages")
+            if self.factor <= 0:
+                raise ValueError("degrade factor must be positive")
+
+    def as_dict(self) -> dict:
+        return {"time_ns": self.time_ns, "kind": self.kind,
+                "action": self.action, "target": list(self.target),
+                "factor": self.factor}
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered set of fault events plus the failure-detection lag.
+
+    ``detection_ns`` models the NIC ServiceMap health checker: a failed
+    (or recovered) village is only marked down (up) in the dispatcher
+    this long after the event — requests dispatched inside the window
+    blackhole and are recovered by the RPC layer's timeout/retry.
+
+    An empty schedule is falsy; the cluster harness treats it exactly
+    like no schedule at all, so the zero-fault path stays byte-identical
+    to a run that never heard of this module.
+    """
+
+    _events: List[FaultEvent] = field(default_factory=list)
+    detection_ns: float = 100_000.0
+
+    # ------------------------------------------------------------- events
+
+    @property
+    def events(self) -> List[FaultEvent]:
+        """Events sorted by time (stable: ties keep insertion order)."""
+        return sorted(self._events, key=lambda e: e.time_ns)
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        self._events.append(event)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # ------------------------------------------------------ fluent builders
+
+    def fail_village(self, server: int, village: int, at_ns: float,
+                     recover_at_ns: Optional[float] = None) -> "FaultSchedule":
+        self.add(FaultEvent(at_ns, "village", "fail", (server, village)))
+        if recover_at_ns is not None:
+            self.add(FaultEvent(recover_at_ns, "village", "recover",
+                                (server, village)))
+        return self
+
+    def degrade_village(self, server: int, village: int, at_ns: float,
+                        factor: float,
+                        recover_at_ns: Optional[float] = None
+                        ) -> "FaultSchedule":
+        self.add(FaultEvent(at_ns, "village", "degrade", (server, village),
+                            factor=factor))
+        if recover_at_ns is not None:
+            self.add(FaultEvent(recover_at_ns, "village", "degrade",
+                                (server, village), factor=1.0))
+        return self
+
+    def fail_core(self, server: int, village: int, core: int, at_ns: float,
+                  recover_at_ns: Optional[float] = None) -> "FaultSchedule":
+        self.add(FaultEvent(at_ns, "core", "fail", (server, village, core)))
+        if recover_at_ns is not None:
+            self.add(FaultEvent(recover_at_ns, "core", "recover",
+                                (server, village, core)))
+        return self
+
+    def fail_link(self, server: int, u: str, v: str, at_ns: float,
+                  recover_at_ns: Optional[float] = None) -> "FaultSchedule":
+        self.add(FaultEvent(at_ns, "link", "fail", (server, u, v)))
+        if recover_at_ns is not None:
+            self.add(FaultEvent(recover_at_ns, "link", "recover",
+                                (server, u, v)))
+        return self
+
+    def fail_nic(self, server: int, village: int, which: str, at_ns: float,
+                 recover_at_ns: Optional[float] = None) -> "FaultSchedule":
+        if which not in ("lnic", "rnic"):
+            raise ValueError(f"nic must be 'lnic' or 'rnic', got {which!r}")
+        self.add(FaultEvent(at_ns, "nic", "fail", (server, village, which)))
+        if recover_at_ns is not None:
+            self.add(FaultEvent(recover_at_ns, "nic", "recover",
+                                (server, village, which)))
+        return self
+
+    # --------------------------------------------------- randomized builder
+
+    @classmethod
+    def random(cls, seed: int, duration_ns: float,
+               villages: Sequence[Tuple[int, int]] = (),
+               links: Sequence[Tuple[int, str, str]] = (),
+               nics: Sequence[Tuple[int, int, str]] = (),
+               rate_per_s: float = 50.0,
+               mttr_ns: float = 2_000_000.0,
+               gray_fraction: float = 0.25,
+               gray_factor: float = 4.0,
+               detection_ns: float = 100_000.0) -> "FaultSchedule":
+        """Generate a concrete fail/recover event list from a seed.
+
+        ``rate_per_s`` is the aggregate failure arrival rate across the
+        whole inventory; each failure picks a component uniformly and
+        recovers after an exponential repair time with mean ``mttr_ns``.
+        A ``gray_fraction`` of village faults are slow-node degradations
+        (``gray_factor``× slower) instead of outright failures.
+        """
+        rng = np.random.default_rng(seed)
+        inventory: List[Tuple[str, Tuple]] = \
+            [("village", t) for t in villages] + \
+            [("link", t) for t in links] + \
+            [("nic", t) for t in nics]
+        sched = cls(detection_ns=detection_ns)
+        if not inventory or rate_per_s <= 0:
+            return sched
+        t = 0.0
+        mean_gap_ns = 1e9 / rate_per_s
+        while True:
+            t += float(rng.exponential(mean_gap_ns))
+            if t >= duration_ns:
+                break
+            kind, target = inventory[int(rng.integers(len(inventory)))]
+            repair = t + float(rng.exponential(mttr_ns))
+            recover_at = min(repair, duration_ns)
+            if kind == "village" and float(rng.random()) < gray_fraction:
+                sched.degrade_village(*target, at_ns=t, factor=gray_factor,
+                                      recover_at_ns=recover_at)
+            elif kind == "village":
+                sched.fail_village(*target, at_ns=t,
+                                   recover_at_ns=recover_at)
+            elif kind == "link":
+                sched.fail_link(*target, at_ns=t, recover_at_ns=recover_at)
+            else:
+                sched.fail_nic(*target, at_ns=t, recover_at_ns=recover_at)
+        return sched
+
+    # ------------------------------------------------------------- export
+
+    def as_dicts(self) -> List[dict]:
+        return [e.as_dict() for e in self.events]
+
+    def describe(self) -> str:
+        lines = [f"{len(self._events)} fault events "
+                 f"(detection lag {self.detection_ns / 1e3:.0f} us):"]
+        for e in self.events:
+            extra = f" x{e.factor:g}" if e.action == "degrade" else ""
+            lines.append(f"  t={e.time_ns / 1e6:9.3f} ms  {e.action:7s} "
+                         f"{e.kind:7s} {e.target}{extra}")
+        return "\n".join(lines)
+
+
+def merge(schedules: Iterable[FaultSchedule]) -> FaultSchedule:
+    """Union of several schedules (first schedule's detection lag wins)."""
+    out = FaultSchedule()
+    first = True
+    for s in schedules:
+        if first:
+            out.detection_ns = s.detection_ns
+            first = False
+        for e in s.events:
+            out.add(e)
+    return out

@@ -11,10 +11,11 @@ from repro.icn.fattree import FatTree
 from repro.icn.leafspine import HierarchicalLeafSpine
 from repro.icn.mesh import Mesh2D
 from repro.icn.network import Network, NetworkConfig
-from repro.icn.topology import Topology
+from repro.icn.topology import NoPathError, Topology
 
 __all__ = [
     "Topology",
+    "NoPathError",
     "Mesh2D",
     "FatTree",
     "HierarchicalLeafSpine",

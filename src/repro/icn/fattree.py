@@ -21,7 +21,11 @@ class FatTree(Topology):
     """Binary fat-tree over ``n_leaves`` leaf switches.
 
     Nodes are ``ft{level}:{index}``; level 0 is the leaves.  A single
-    up/down path exists between any two leaves (deterministic routing).
+    up/down path exists between any two leaves (deterministic routing),
+    which is also the topology's resilience Achilles' heel: since the
+    graph is a tree, any link failure *partitions* it — every pair whose
+    route crossed that link blackholes until the link recovers, with no
+    possible reroute (``adaptive`` stays False by construction).
     """
 
     def __init__(self, n_leaves: int = 32, max_link_capacity: int = 2):

@@ -25,6 +25,10 @@ class HierarchicalLeafSpine(Topology):
         if min(n_pods, leaves_per_pod, spines_per_pod) < 1 or n_core < 1:
             raise ValueError("all dimensions must be >= 1")
         super().__init__(name=f"leafspine{n_pods}x{leaves_per_pod}")
+        #: ECMP hardware re-picks among surviving equal-cost paths, and
+        #: the base class falls back to BFS when none survives — the
+        #: "many redundant equal-cost paths" resilience claim (Sec 4.2).
+        self.adaptive = True
         self.n_pods = n_pods
         self.leaves_per_pod = leaves_per_pod
         self.spines_per_pod = spines_per_pod
@@ -70,9 +74,24 @@ class HierarchicalLeafSpine(Topology):
 
     def _route(self, src: str, dst: str,
                rng: Optional[np.random.Generator] = None) -> List[str]:
-        """ECMP routing: random equal-cost spine/core picks per message."""
+        """ECMP routing: random equal-cost spine/core picks per message.
+
+        With failed links present, the pick is made among the *surviving*
+        equal-cost paths (the hardware's link-liveness mask); the healthy
+        fast path below is untouched so fault-free runs consume the RNG
+        identically to pre-fault builds.
+        """
         if src == dst:
             return [src]
+        if self._failed_links:
+            paths = self.equal_cost_paths(src, dst, alive_only=True)
+            if not paths:
+                # Every minimal path lost a link; the base class's
+                # adaptive BFS finds a (longer) detour or raises.
+                return self.shortest_path(src, dst)
+            if rng is None:
+                return paths[0]
+            return paths[int(rng.integers(len(paths)))]
         choice = (lambda n: int(rng.integers(n))) if rng is not None else (lambda n: 0)
         src_pod, __ = self._parse_leaf(src)
         dst_pod, __ = self._parse_leaf(dst)
@@ -83,6 +102,41 @@ class HierarchicalLeafSpine(Topology):
         core = self.core_name(choice(self.n_core))
         down_spine = self.spine_name(dst_pod, choice(self.spines_per_pod))
         return [src, up_spine, core, down_spine, dst]
+
+    def equal_cost_paths(self, src: str, dst: str,
+                         alive_only: bool = False) -> List[List[str]]:
+        """Every minimal ECMP path between two leaves.
+
+        ``alive_only`` filters to paths whose links all survive the
+        current failure set — the redundancy that makes single-link
+        failures invisible here while deterministic fabrics blackhole.
+        """
+        if src == dst:
+            return [[src]]
+        ok = self.link_alive if alive_only else self.has_link
+        src_pod, __ = self._parse_leaf(src)
+        dst_pod, __ = self._parse_leaf(dst)
+        paths: List[List[str]] = []
+        if src_pod == dst_pod:
+            for s in range(self.spines_per_pod):
+                spine = self.spine_name(src_pod, s)
+                if ok(src, spine) and ok(spine, dst):
+                    paths.append([src, spine, dst])
+            return paths
+        for up in range(self.spines_per_pod):
+            up_spine = self.spine_name(src_pod, up)
+            if not ok(src, up_spine):
+                continue
+            for c in range(self.n_core):
+                core = self.core_name(c)
+                if not ok(up_spine, core):
+                    continue
+                for down in range(self.spines_per_pod):
+                    down_spine = self.spine_name(dst_pod, down)
+                    if ok(core, down_spine) and ok(down_spine, dst):
+                        paths.append(
+                            [src, up_spine, core, down_spine, dst])
+        return paths
 
     @staticmethod
     def _parse_leaf(node: str):

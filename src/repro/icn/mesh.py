@@ -15,12 +15,20 @@ class Mesh2D(Topology):
     Routing is deterministic XY (first along x, then along y), the common
     deadlock-free scheme; determinism is also what concentrates traffic
     and makes meshes contention-prone (Figure 7).
+
+    Under link failures XY routers have no fallback: a dead link on the
+    XY path loses the route (the message blackholes) even though the
+    grid may still be connected.  ``adaptive=True`` models a fabric with
+    adaptive routing tables instead — failed links are detoured via BFS,
+    trading blackholes for longer paths and detour hotspots.
     """
 
-    def __init__(self, cols: int, rows: int, link_capacity: int = 1):
+    def __init__(self, cols: int, rows: int, link_capacity: int = 1,
+                 adaptive: bool = False):
         super().__init__(name=f"mesh{cols}x{rows}")
         if cols < 1 or rows < 1:
             raise ValueError("mesh dimensions must be >= 1")
+        self.adaptive = adaptive
         self.cols = cols
         self.rows = rows
         for x in range(cols):

@@ -13,7 +13,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.icn.topology import Topology
+from repro.icn.topology import NoPathError, Topology
 from repro.sim.engine import Engine
 from repro.sim.resource import Resource
 
@@ -53,6 +53,9 @@ class Network:
         self.messages_sent = 0
         self.hops_traversed = 0
         self.total_latency = 0.0
+        #: Messages lost to failed links/partitions (blackholes).  The
+        #: RPC layer's timeouts are what turns these into retries.
+        self.messages_dropped = 0
 
     def _link(self, u: str, v: str) -> Resource:
         res = self._links.get((u, v))
@@ -63,13 +66,21 @@ class Network:
         return res
 
     def send(self, src: str, dst: str, size_bytes: int,
-             on_delivered: Callable[[], None], rec=None) -> None:
+             on_delivered: Callable[[], None], rec=None,
+             on_dropped: Optional[Callable[[], None]] = None) -> None:
         """Route a message and call ``on_delivered`` when it arrives.
 
         ``rec`` optionally attributes the message's ``icn_hop`` span to a
-        request's trace (ignored when tracing is off).
+        request's trace (ignored when tracing is off).  When no surviving
+        route exists (failed links) the message blackholes:
+        ``on_dropped`` fires if given, otherwise nothing does — callers
+        with a delivery guarantee wrap sends in a timeout.
         """
-        path = self.topology.path(src, dst, self.rng)
+        try:
+            path = self.topology.path(src, dst, self.rng)
+        except NoPathError:
+            self._drop(on_dropped)
+            return
         self.messages_sent += 1
         if len(path) < 2:
             self.engine.schedule(0.0, on_delivered)
@@ -96,15 +107,27 @@ class Network:
             self.engine.schedule(total, self._deliver, sent_at, on_delivered)
             return
 
+        topo = self.topology
+
         def traverse(index: int) -> None:
             if index >= len(hops):
                 self._deliver(sent_at, on_delivered)
                 return
             u, v = hops[index]
+            if topo.has_failures and not topo.link_alive(u, v):
+                # The link died while the message was queued upstream.
+                self._drop(on_dropped)
+                return
             self._link(u, v).acquire(hop_time,
                                      lambda s, f: traverse(index + 1))
 
         traverse(0)
+
+    def _drop(self, on_dropped: Optional[Callable[[], None]]) -> None:
+        """Blackhole one message (no route, or a hop died in flight)."""
+        self.messages_dropped += 1
+        if on_dropped is not None:
+            self.engine.schedule(0.0, on_dropped)
 
     def _deliver(self, sent_at: float, on_delivered: Callable[[], None]) -> None:
         self.total_latency += self.engine.now - sent_at

@@ -4,14 +4,30 @@ Concrete topologies implement :meth:`path`, returning the node sequence a
 message follows.  Multi-path topologies (leaf-spine, fat-tree fabrics)
 make randomized equal-cost choices using the caller's RNG, which is how
 ECMP load-spreading is modelled.
+
+Links can *fail* (:meth:`fail_link`) and recover.  What happens to a
+route that crosses a dead link is a property of the routing scheme:
+
+* ``adaptive=False`` (deterministic hardware routing — the 2D mesh's XY
+  dimension-order routers, the fat-tree's single up/down path): the
+  route is simply gone and :meth:`path` raises :class:`NoPathError`;
+  the message blackholes and recovery is the RPC layer's problem.
+* ``adaptive=True``: the fabric recomputes a shortest path over the
+  surviving links (BFS), still raising :class:`NoPathError` when the
+  failure actually partitions the graph.  The leaf-spine fabric goes
+  further and re-picks among its surviving equal-cost paths (ECMP).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
+
+
+class NoPathError(ValueError):
+    """No surviving route between two nodes (failure/partition)."""
 
 
 class Topology:
@@ -22,6 +38,9 @@ class Topology:
         self._adj: Dict[str, List[str]] = {}
         self._capacity: Dict[Tuple[str, str], int] = {}
         self._attachments: Dict[str, str] = {}
+        self._failed_links: Set[Tuple[str, str]] = set()
+        #: Whether routing recomputes around dead links (see module doc).
+        self.adaptive = False
 
     @property
     def nodes(self) -> List[str]:
@@ -55,6 +74,37 @@ class Topology:
     def link_capacity(self, u: str, v: str) -> int:
         return self._capacity[(u, v)]
 
+    # ------------------------------------------------------- link failures
+
+    def fail_link(self, u: str, v: str, bidirectional: bool = True) -> None:
+        """Take a link out of service (both directions by default)."""
+        if not self.has_link(u, v):
+            raise KeyError(f"cannot fail unknown link {u!r}->{v!r}")
+        self._failed_links.add((u, v))
+        if bidirectional and self.has_link(v, u):
+            self._failed_links.add((v, u))
+
+    def recover_link(self, u: str, v: str, bidirectional: bool = True) -> None:
+        """Return a failed link to service."""
+        self._failed_links.discard((u, v))
+        if bidirectional:
+            self._failed_links.discard((v, u))
+
+    def link_alive(self, u: str, v: str) -> bool:
+        return (u, v) in self._capacity and (u, v) not in self._failed_links
+
+    @property
+    def failed_links(self) -> Set[Tuple[str, str]]:
+        return set(self._failed_links)
+
+    @property
+    def has_failures(self) -> bool:
+        return bool(self._failed_links)
+
+    def _path_alive(self, path: List[str]) -> bool:
+        failed = self._failed_links
+        return not any((u, v) in failed for u, v in zip(path, path[1:]))
+
     def neighbors(self, node: str) -> List[str]:
         return self._adj[node]
 
@@ -84,7 +134,21 @@ class Topology:
             suffix = [dst]
             dst = self._attachments[dst]
         full = prefix + self._route(src, dst, rng) + suffix
-        return [n for i, n in enumerate(full) if i == 0 or n != full[i - 1]]
+        full = [n for i, n in enumerate(full) if i == 0 or n != full[i - 1]]
+        if self._failed_links and not self._path_alive(full):
+            if not self.adaptive:
+                raise NoPathError(
+                    f"route {full[0]} -> {full[-1]} crosses a failed link "
+                    f"({self.name}: deterministic routing, no reroute)")
+            # Adaptive fabric: recompute over the surviving links.  The
+            # endpoint attachment hops are fixed wires — if one of those
+            # died, no amount of rerouting helps.
+            full = prefix + self.shortest_path(src, dst) + suffix
+            full = [n for i, n in enumerate(full) if i == 0 or n != full[i - 1]]
+            if not self._path_alive(full):
+                raise NoPathError(
+                    f"endpoint link of {full[0]} -> {full[-1]} is down")
+        return full
 
     def _route(self, src: str, dst: str,
                rng: Optional[np.random.Generator] = None) -> List[str]:
@@ -92,11 +156,13 @@ class Topology:
         return self.shortest_path(src, dst)
 
     def shortest_path(self, src: str, dst: str) -> List[str]:
-        """BFS shortest path; raises if disconnected."""
+        """BFS shortest path over *surviving* links; raises
+        :class:`NoPathError` when disconnected (or partitioned)."""
         if src == dst:
             return [src]
         if src not in self._adj or dst not in self._adj:
             raise KeyError(f"unknown node in path request: {src} -> {dst}")
+        failed = self._failed_links
         prev: Dict[str, str] = {}
         q = deque([src])
         seen = {src}
@@ -104,6 +170,8 @@ class Topology:
             node = q.popleft()
             for nb in self._adj[node]:
                 if nb in seen:
+                    continue
+                if failed and (node, nb) in failed:
                     continue
                 seen.add(nb)
                 prev[nb] = node
@@ -113,7 +181,7 @@ class Topology:
                         path.append(prev[path[-1]])
                     return path[::-1]
                 q.append(nb)
-        raise ValueError(f"no path from {src} to {dst}")
+        raise NoPathError(f"no path from {src} to {dst}")
 
     def validate_path(self, path: List[str]) -> bool:
         """True when every consecutive pair is an existing link."""

@@ -43,6 +43,17 @@ class LNic:
         self.name = name
         self._port = Resource(engine, capacity=1, name=f"{name}.port")
         self.messages = 0
+        #: Fault state: a failed NIC blackholes everything handed to it
+        #: (its ``done`` callbacks never fire); callers recover via the
+        #: RPC layer's timeout/retry.
+        self.failed = False
+        self.dropped = 0
+
+    def fail(self) -> None:
+        self.failed = True
+
+    def recover(self) -> None:
+        self.failed = False
 
     def _traced(self, done: Callable[[], None],
                 rec) -> Callable[[], None]:
@@ -63,6 +74,9 @@ class LNic:
     def process(self, size_bytes: int, done: Callable[[], None],
                 rec=None) -> None:
         """Pass one message through the NIC; ``done`` on completion."""
+        if self.failed:
+            self.dropped += 1
+            return
         self.messages += 1
         done = self._traced(done, rec)
         cfg = self.config
@@ -81,6 +95,9 @@ class RNic(LNic):
 
     def process(self, size_bytes: int, done: Callable[[], None],
                 rec=None) -> None:
+        if self.failed:
+            self.dropped += 1
+            return
         self.messages += 1
         done = self._traced(done, rec)
         cfg = self.config
@@ -117,6 +134,11 @@ class TopLevelNic:
         self._port = Resource(engine, capacity=2, name=f"{name}.port")
         self.dispatched = 0
         self.rejected = 0
+        #: ServiceMap health bits: villages the health checker marked
+        #: down.  ``pick_village`` skips them; the set stays empty in
+        #: fault-free runs so the healthy dispatch path is unchanged.
+        self._down: set = set()
+        self.health_marks = 0
 
     def register_instance(self, service: str, village: int) -> None:
         villages = self._service_map.setdefault(service, [])
@@ -131,12 +153,43 @@ class TopLevelNic:
     def villages_for(self, service: str) -> List[int]:
         return list(self._service_map.get(service, []))
 
-    def pick_village(self, service: str) -> int:
+    # ---- ServiceMap health checking (fault detection)
+
+    def mark_village_down(self, village: int) -> None:
+        """Health checker verdict: stop dispatching to this village."""
+        self._down.add(village)
+        self.health_marks += 1
+
+    def mark_village_up(self, village: int) -> None:
+        self._down.discard(village)
+
+    def village_healthy(self, village: int) -> bool:
+        return village not in self._down
+
+    def healthy_villages(self, service: str) -> List[int]:
+        return [v for v in self._service_map.get(service, [])
+                if v not in self._down]
+
+    def pick_village(self, service: str,
+                     exclude: Optional[int] = None) -> int:
         """Pick a hosting village: round-robin (the Section 4.2 hardware)
-        or uniformly random (the Figure 3 queue study's assignment)."""
+        or uniformly random (the Figure 3 queue study's assignment).
+
+        Villages marked down by the health checker are skipped; raises
+        KeyError when no healthy instance remains.  ``exclude`` biases
+        hedged requests away from the primary attempt's village when an
+        alternative exists.
+        """
         villages = self._service_map.get(service)
         if not villages:
             raise KeyError(f"no instance of service {service!r} registered")
+        if self._down:
+            villages = [v for v in villages if v not in self._down]
+            if not villages:
+                raise KeyError(
+                    f"no healthy instance of service {service!r}")
+        if exclude is not None and len(villages) > 1:
+            villages = [v for v in villages if v != exclude] or villages
         self.dispatched += 1
         if self.dispatch == "random":
             return villages[int(self.rng.integers(len(villages)))]

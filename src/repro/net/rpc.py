@@ -3,8 +3,7 @@
 from __future__ import annotations
 
 import enum
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 
@@ -17,9 +16,6 @@ class MessageKind(enum.Enum):
     STORAGE_RESPONSE = "storage_response"
 
 
-_ids = itertools.count()
-
-
 @dataclass
 class Message:
     """One RPC-layer message.
@@ -28,6 +24,10 @@ class Message:
     ``size_bytes`` drives serialization/link occupancy.  Sizes default to
     a small header+args RPC (requests) — Section 2.1's services exchange
     small payloads.
+
+    ``msg_id`` is allocated per engine (:meth:`Message.create`) so ids are
+    a deterministic function of one run, not of how many runs the hosting
+    process executed before.
     """
 
     kind: MessageKind
@@ -36,7 +36,13 @@ class Message:
     size_bytes: int = 512
     src: Optional[str] = None
     dst: Optional[str] = None
-    msg_id: int = field(default_factory=lambda: next(_ids))
+    msg_id: Optional[int] = None
+
+    @classmethod
+    def create(cls, engine, kind: MessageKind, service: str,
+               **kwargs: Any) -> "Message":
+        """Build a message with a run-local id from ``engine``."""
+        return cls(kind, service, msg_id=engine.next_msg_id(), **kwargs)
 
     @property
     def is_request(self) -> bool:

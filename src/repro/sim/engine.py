@@ -51,6 +51,14 @@ class Engine:
         #: Defaults to the no-op tracer; sites guard on ``tracer.enabled``
         #: so disabled tracing costs one attribute load per hook.
         self.tracer = NULL_TRACER
+        self._msg_ids: int = 0
+
+    def next_msg_id(self) -> int:
+        """Allocate a run-local message id (deterministic per engine,
+        unlike a module-level counter shared across runs in a process)."""
+        mid = self._msg_ids
+        self._msg_ids += 1
+        return mid
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Schedule ``fn(*args)`` to run ``delay`` ns from now."""

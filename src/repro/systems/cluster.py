@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.faults import FaultInjector, FaultSchedule, ResilienceConfig
 from repro.metrics.latency import LatencyRecorder, LatencySummary
 from repro.net.fabric import FabricConfig, InterServerFabric, StorageBackend
 from repro.sim.engine import Engine
@@ -42,6 +43,12 @@ class RunResult:
     #: Warm-up cutoff used for the summary (ns) — also applied to the
     #: span-derived breakdown so both cover the same request population.
     warmup_ns: float = 0.0
+    #: Requests that came back as errors (retry budget exhausted or the
+    #: root deadline blown); zero outside fault experiments.
+    failed: int = 0
+    #: Fault-injection and resilience counters; None in fault-free runs
+    #: (keeps ``as_dict`` byte-identical to the pre-fault simulator).
+    fault_stats: Optional[dict] = None
 
     @property
     def throughput_rps(self) -> float:
@@ -54,6 +61,18 @@ class RunResult:
     @property
     def p99_ns(self) -> float:
         return self.summary.p99
+
+    @property
+    def goodput_rps(self) -> float:
+        """Successful completions per server-second (excludes failed and
+        rejected requests; equals ``throughput_rps`` in fault-free runs)."""
+        return self.completed / (self.duration_s * self.n_servers)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of answered requests that succeeded."""
+        answered = self.completed + self.failed + self.rejected
+        return self.completed / answered if answered else 1.0
 
     def breakdown(self) -> Optional[dict]:
         """Span-derived per-category latency decomposition (see
@@ -82,6 +101,11 @@ class RunResult:
             d["breakdown"] = bd
         if self.metrics is not None:
             d["metrics"] = self.metrics.as_dict()
+        if self.fault_stats is not None:
+            d["failed"] = self.failed
+            d["availability"] = self.availability
+            d["goodput_rps"] = self.goodput_rps
+            d["faults"] = self.fault_stats
         return d
 
 
@@ -95,7 +119,9 @@ class ClusterSimulation:
                  fabric_config: Optional[FabricConfig] = None,
                  arrivals: str = "poisson",
                  tracer: Optional[NullTracer] = None,
-                 metrics_interval_ns: Optional[float] = None):
+                 metrics_interval_ns: Optional[float] = None,
+                 faults: Optional[FaultSchedule] = None,
+                 resilience: Optional[ResilienceConfig] = None):
         if n_servers < 1:
             raise ValueError("n_servers must be >= 1")
         if not 0 <= warmup_fraction < 1:
@@ -132,8 +158,44 @@ class ClusterSimulation:
         self.recorder = LatencyRecorder(name=f"{config.name}/{app.name}")
         self.offered = 0
         self.rejected = 0
+        self.failed = 0
+        # Fault injection + resilience.  An *empty* schedule is treated
+        # exactly like no schedule (falsy), so default runs never install
+        # an injector, arm a timeout, or take a new branch.
+        self.faults = faults if faults else None
+        if self.faults is not None and resilience is None:
+            resilience = ResilienceConfig()   # faults demand a response
+        self.resilience = resilience
+        self.injector: Optional[FaultInjector] = None
+        if self.resilience is not None:
+            for server in self.servers:
+                server.resilience = self.resilience
+        if self.faults is not None:
+            self.injector = FaultInjector(self.engine, self.servers,
+                                          self.faults)
         if self.metrics is not None:
             self._register_gauges()
+
+    def install_faults(self, faults: Optional[FaultSchedule],
+                       resilience: Optional[ResilienceConfig] = None) -> None:
+        """Arm fault injection after construction.
+
+        Lets callers inspect the built cluster (topology node names, the
+        village inventory) to pick fault targets, then install the
+        schedule — must be called before :meth:`run`.
+        """
+        self.faults = faults if faults else None
+        if self.faults is None and resilience is None:
+            return
+        if resilience is None and self.resilience is None:
+            resilience = ResilienceConfig()
+        if resilience is not None:
+            self.resilience = resilience
+            for server in self.servers:
+                server.resilience = resilience
+        if self.faults is not None:
+            self.injector = FaultInjector(self.engine, self.servers,
+                                          self.faults)
 
     def _register_gauges(self) -> None:
         """Periodic time series of the paper's congestion indicators:
@@ -169,6 +231,13 @@ class ClusterSimulation:
                 if self.metrics is not None:
                     self.metrics.counter("rejected").inc()
                 return
+            if rec.failed:
+                # An error response (retries exhausted / deadline blown):
+                # answered, but not goodput — excluded from latency.
+                self.failed += 1
+                if self.metrics is not None:
+                    self.metrics.counter("failed").inc()
+                return
             latency = self.engine.now - arrival_ns
             self.recorder.record(self.engine.now, latency)
             if self.metrics is not None:
@@ -178,19 +247,50 @@ class ClusterSimulation:
 
     def run(self, max_events: Optional[int] = None) -> RunResult:
         self._schedule_arrivals()
+        if self.injector is not None:
+            self.injector.install()
         if self.metrics is not None:
             self.metrics.histogram("latency_ns")
             self.metrics.start_sampling(self.engine, self.metrics_interval_ns)
         self.engine.run(max_events=max_events)
         warmup_ns = self.warmup_fraction * self.duration_s * 1e9
         summary = self.recorder.summary(after_ns=warmup_ns)
+        fault_stats = self._fault_stats() \
+            if (self.injector is not None or self.resilience is not None) \
+            else None
         return RunResult(
             system=self.config.name, app=self.app.name,
             rps_per_server=self.rps_per_server, n_servers=self.n_servers,
             duration_s=self.duration_s, summary=summary,
             completed=len(self.recorder), rejected=self.rejected,
             offered=self.offered, tracer=self.tracer, metrics=self.metrics,
-            warmup_ns=warmup_ns)
+            warmup_ns=warmup_ns, failed=self.failed,
+            fault_stats=fault_stats)
+
+    def _fault_stats(self) -> dict:
+        """Aggregate resilience/fault counters across the cluster (also
+        mirrored into the metrics registry when one is attached)."""
+        servers = self.servers
+        stats = {
+            "injected": self.injector.stats() if self.injector else None,
+            "rpc_timeouts": sum(s.rpc_timeouts for s in servers),
+            "rpc_retries": sum(s.rpc_retries for s in servers),
+            "rpc_hedges": sum(s.rpc_hedges for s in servers),
+            "rpc_failed": sum(s.rpc_failed for s in servers),
+            "wasted_responses": sum(s.wasted_responses for s in servers),
+            "blackholed": sum(v.blackholed for s in servers
+                              for v in s.villages),
+            "icn_dropped": sum(s.network.messages_dropped for s in servers),
+            "nic_dropped": sum(n.dropped for s in servers
+                               for n in s.lnics + s.rnics),
+            "health_marks": sum(s.top_nic.health_marks for s in servers),
+        }
+        if self.metrics is not None:
+            for key in ("rpc_timeouts", "rpc_retries", "rpc_hedges",
+                        "rpc_failed", "blackholed", "icn_dropped",
+                        "nic_dropped"):
+                self.metrics.counter(key).inc(stats[key])
+        return stats
 
 
 def simulate(config: SystemConfig, app: AppSpec, rps_per_server: float,
@@ -199,15 +299,20 @@ def simulate(config: SystemConfig, app: AppSpec, rps_per_server: float,
              fabric_config: Optional[FabricConfig] = None,
              arrivals: str = "poisson",
              tracer: Optional[NullTracer] = None,
-             metrics_interval_ns: Optional[float] = None) -> RunResult:
+             metrics_interval_ns: Optional[float] = None,
+             faults: Optional[FaultSchedule] = None,
+             resilience: Optional[ResilienceConfig] = None) -> RunResult:
     """One-call wrapper: build the cluster, run it, return the result.
 
     Pass a :class:`repro.telemetry.Tracer` to capture spans and/or a
     ``metrics_interval_ns`` to sample system-state gauges periodically;
-    both default to off (zero-overhead NullTracer path).
+    both default to off (zero-overhead NullTracer path).  A non-empty
+    ``faults`` schedule installs the injector and (unless an explicit
+    ``resilience`` policy is given) arms default timeout/retry handling.
     """
     sim = ClusterSimulation(config, app, rps_per_server, n_servers,
                             duration_s, seed, warmup_fraction, fabric_config,
                             arrivals=arrivals, tracer=tracer,
-                            metrics_interval_ns=metrics_interval_ns)
+                            metrics_interval_ns=metrics_interval_ns,
+                            faults=faults, resilience=resilience)
     return sim.run()

@@ -76,6 +76,16 @@ class Server:
         self.rejected = 0
         self._scaling = set()      # services with an instance boot in flight
         self.instances_booted = 0
+        #: Resilience policy (:class:`repro.faults.ResilienceConfig`),
+        #: armed by the cluster harness for fault experiments.  None keeps
+        #: every call on the original unguarded path — the fault-free
+        #: experiments never see a timeout event or an extra branch.
+        self.resilience = None
+        self.rpc_timeouts = 0
+        self.rpc_retries = 0
+        self.rpc_hedges = 0
+        self.rpc_failed = 0
+        self.wasted_responses = 0
 
     # -------------------------------------------------------------- build
 
@@ -366,14 +376,50 @@ class Server:
         self.network.send(node, leaf, self._coh_bytes(STORAGE_BYTES),
                           at_rnic, rec=rec)
 
+    def _pick_callee(self) -> "Server":
+        if len(self.peers) == 1 or self.rng.random() < self.config.locality:
+            return self
+        others = [p for p in self.peers if p is not self]
+        return others[int(self.rng.integers(len(others)))]
+
+    def _send_call(self, village: Village, child: RequestRecord,
+                   callee: "Server", target: str,
+                   exclude: Optional[int] = None) -> Optional[int]:
+        """Push one request toward its callee; returns the destination
+        village for local calls (None for cross-server ones).  Raises
+        ``KeyError`` when every local instance is marked unhealthy."""
+        src_node = self._village_node(village.village_id)
+        if callee is self:
+            dst_village = self.top_nic.pick_village(target, exclude=exclude)
+            self.lnics[village.village_id].process(
+                REQUEST_BYTES,
+                lambda: self.network.send(
+                    src_node, self._village_node(dst_village),
+                    self._coh_bytes(REQUEST_BYTES),
+                    lambda: self._submit_with_retry(child, dst_village),
+                    rec=child),
+                rec=child)
+            return dst_village
+        v = village.village_id
+        leaf = self._leaf(self.village_cluster(v))
+        self.network.send(
+            src_node, leaf, self._coh_bytes(REQUEST_BYTES),
+            lambda: self.rnics[v].process(
+                REQUEST_BYTES,
+                lambda: self.fabric.send(
+                    self.server_id, callee.server_id, REQUEST_BYTES,
+                    lambda: callee.ingress_internal(child), rec=child),
+                rec=child),
+            rec=child)
+        return None
+
     def _service_call(self, rec: RequestRecord, village: Village,
                       target: str) -> None:
         """Synchronous downstream RPC; parent resumes on the response."""
-        if len(self.peers) == 1 or self.rng.random() < self.config.locality:
-            callee = self
-        else:
-            others = [p for p in self.peers if p is not self]
-            callee = others[int(self.rng.integers(len(others)))]
+        if self.resilience is not None:
+            _ResilientCall(self, rec, village, target).launch()
+            return
+        callee = self._pick_callee()
 
         def respond(child: RequestRecord) -> None:
             self._deliver_response(callee, child, village, rec)
@@ -385,34 +431,18 @@ class Server:
             # Nested RPC: its own request span, parented into the caller's
             # trace so the span tree follows the RPC tree.
             tracer.begin_request(child, self.engine.now, parent=rec)
-        src_node = self._village_node(village.village_id)
-        if callee is self:
-            dst_village = self.top_nic.pick_village(target)
-            self.lnics[village.village_id].process(
-                REQUEST_BYTES,
-                lambda: self.network.send(
-                    src_node, self._village_node(dst_village),
-                    self._coh_bytes(REQUEST_BYTES),
-                    lambda: self._submit_with_retry(child, dst_village),
-                    rec=child),
-                rec=child)
-        else:
-            v = village.village_id
-            leaf = self._leaf(self.village_cluster(v))
-            self.network.send(
-                src_node, leaf, self._coh_bytes(REQUEST_BYTES),
-                lambda: self.rnics[v].process(
-                    REQUEST_BYTES,
-                    lambda: self.fabric.send(
-                        self.server_id, callee.server_id, REQUEST_BYTES,
-                        lambda: callee.ingress_internal(child), rec=child),
-                    rec=child),
-                rec=child)
+        self._send_call(village, child, callee, target)
 
     def _deliver_response(self, callee: "Server", child: RequestRecord,
                           parent_village: Village,
-                          parent: RequestRecord) -> None:
-        """Send a child's response back to the waiting parent."""
+                          parent: RequestRecord,
+                          on_resume: Optional[Callable[[], None]] = None
+                          ) -> None:
+        """Send a child's response back to the waiting parent.
+
+        ``on_resume`` (resilient calls) replaces the default wakeup so the
+        caller's first-response-wins logic decides what happens.
+        """
 
         tracer = self.engine.tracer
 
@@ -421,6 +451,9 @@ class Server:
                 # The nested call's span closes when its response reaches
                 # the waiting parent — the full parent-visible latency.
                 tracer.end_request(child, self.engine.now)
+            if on_resume is not None:
+                on_resume()
+                return
             parent.advance_segment()
             parent_village.make_ready(parent)
 
@@ -482,6 +515,14 @@ class Server:
     def client_request(self, app_name: str,
                        on_done: Callable[[RequestRecord], None]) -> None:
         """External request from a client outside the cluster."""
+        if self.resilience is not None:
+            _ResilientRoot(self, app_name, on_done).launch()
+            return
+        self._client_request_once(app_name, on_done)
+
+    def _client_request_once(self, app_name: str,
+                             on_done: Callable[[RequestRecord], None]) -> None:
+        """One attempt at an external request (no deadline machinery)."""
         app = self.apps[app_name]
         tracer = self.engine.tracer
 
@@ -523,7 +564,24 @@ class Server:
 
     def _dispatch_external(self, rec: RequestRecord, internal: bool,
                            on_reject: Optional[Callable] = None) -> None:
-        village_id = self.top_nic.pick_village(rec.service)
+        try:
+            village_id = self.top_nic.pick_village(rec.service)
+        except KeyError:
+            if not self.top_nic._down:
+                raise              # unknown service: a configuration bug
+            # Every local instance is marked down.  External requests get
+            # an error response; internal ones blackhole and are rescued
+            # by their caller's timeout/retry.
+            if not internal:
+                self.rejected += 1
+                rec.rejected = True
+                rec.finish_ns = self.engine.now
+                if self.engine.tracer.enabled:
+                    self.engine.tracer.end_request(rec, self.engine.now,
+                                                   rejected=True)
+                if on_reject is not None:
+                    on_reject(rec)
+            return
         cluster = self.village_cluster(village_id)
 
         def deliver() -> None:
@@ -590,3 +648,206 @@ class Server:
         total = sum(c.busy_ns for v in self.villages for c in v.cores)
         elapsed = self.engine.now * self.config.n_cores
         return total / elapsed if elapsed > 0 else 0.0
+
+
+class _ResilientCall:
+    """One downstream RPC under a resilience policy.
+
+    Wraps a blocking service call with a per-attempt timeout, capped
+    exponential-backoff retries and (optionally) a hedged duplicate to a
+    different instance.  The first response to reach the parent wins;
+    late responses are counted as wasted work, and an exhausted retry
+    budget resumes the parent with the request marked failed (an error
+    response, propagated up the call tree).
+    """
+
+    __slots__ = ("server", "parent", "parent_village", "target", "policy",
+                 "attempt", "done", "events", "primary_village", "hedged")
+
+    def __init__(self, server: Server, parent: RequestRecord,
+                 parent_village: Village, target: str):
+        self.server = server
+        self.parent = parent
+        self.parent_village = parent_village
+        self.target = target
+        self.policy = server.resilience
+        self.attempt = 0            # retries issued so far
+        self.done = False
+        self.events: List = []      # cancellable timeout/hedge/backoff events
+        self.primary_village: Optional[int] = None
+        self.hedged = False
+
+    def launch(self) -> None:
+        self._issue(exclude=None, hedge=False)
+        if self.policy.hedging:
+            self.events.append(self.server.engine.schedule(
+                self.policy.hedge_delay_ns, self._hedge))
+
+    # ------------------------------------------------------------ attempts
+
+    def _issue(self, exclude: Optional[int], hedge: bool) -> None:
+        server = self.server
+        started = server.engine.now
+        callee = server._pick_callee()
+
+        def respond(child: RequestRecord) -> None:
+            server._deliver_response(
+                callee, child, self.parent_village, self.parent,
+                on_resume=lambda: self._complete(child))
+
+        child = server._make_request(self.parent.app_name, self.target,
+                                     respond, depth=self.parent.depth + 1)
+        tracer = server.engine.tracer
+        if tracer.enabled:
+            tracer.begin_request(child, started, parent=self.parent)
+        try:
+            dst = server._send_call(self.parent_village, child, callee,
+                                    self.target, exclude=exclude)
+        except KeyError:
+            # Every healthy instance is gone right now: skip the blackhole
+            # wait (the ServiceMap already knows) and go straight to the
+            # backoff/give-up decision.
+            if not hedge:
+                self._attempt_failed()
+            return
+        if hedge:
+            return       # rides on the primary attempt's timeout budget
+        self.primary_village = dst
+        self.events.append(server.engine.schedule(
+            self.policy.timeout_ns, self._timeout, started))
+
+    def _hedge(self) -> None:
+        if self.done or self.hedged:
+            return
+        self.hedged = True
+        server = self.server
+        server.rpc_hedges += 1
+        tracer = server.engine.tracer
+        if tracer.enabled:
+            tracer.span("hedge", self.target, server.engine.now,
+                        server.engine.now, rec=self.parent,
+                        track="resilience")
+        self._issue(exclude=self.primary_village, hedge=True)
+
+    # ------------------------------------------------------- failure paths
+
+    def _timeout(self, started: float) -> None:
+        if self.done:
+            return
+        server = self.server
+        server.rpc_timeouts += 1
+        tracer = server.engine.tracer
+        if tracer.enabled:
+            tracer.span("blackhole_wait", self.target, started,
+                        server.engine.now, rec=self.parent,
+                        track="resilience")
+        self._attempt_failed()
+
+    def _attempt_failed(self) -> None:
+        if self.done:
+            return
+        server = self.server
+        if self.attempt >= self.policy.max_retries:
+            self._finish_failed()
+            return
+        backoff = self.policy.backoff_ns(self.attempt)
+        self.attempt += 1
+        server.rpc_retries += 1
+        tracer = server.engine.tracer
+        if tracer.enabled:
+            tracer.span("retry", f"{self.target}#retry{self.attempt}",
+                        server.engine.now, server.engine.now + backoff,
+                        rec=self.parent, track="resilience")
+        self.events.append(server.engine.schedule(backoff, self._relaunch))
+
+    def _relaunch(self) -> None:
+        if self.done:
+            return
+        self._issue(exclude=self.primary_village, hedge=False)
+
+    # -------------------------------------------------------- resolutions
+
+    def _cancel_all(self) -> None:
+        for ev in self.events:
+            ev.cancel()
+        self.events.clear()
+
+    def _complete(self, child: RequestRecord) -> None:
+        if self.done:
+            self.server.wasted_responses += 1
+            return
+        self.done = True
+        self._cancel_all()
+        if child.failed:
+            # The child itself came back degraded: propagate up the tree.
+            self.parent.failed = True
+        self.parent.advance_segment()
+        self.parent_village.make_ready(self.parent)
+
+    def _finish_failed(self) -> None:
+        self.done = True
+        self._cancel_all()
+        self.server.rpc_failed += 1
+        self.parent.failed = True
+        self.parent.advance_segment()
+        self.parent_village.make_ready(self.parent)
+
+
+class _ResilientRoot:
+    """End-to-end deadline and retry for one external client request."""
+
+    __slots__ = ("server", "app_name", "on_done", "attempt", "done",
+                 "timeout_ev", "arrival_ns")
+
+    def __init__(self, server: Server, app_name: str,
+                 on_done: Callable[[RequestRecord], None]):
+        self.server = server
+        self.app_name = app_name
+        self.on_done = on_done
+        self.attempt = 0
+        self.done = False
+        self.timeout_ev = None
+        self.arrival_ns = server.engine.now
+
+    def launch(self) -> None:
+        server = self.server
+        self.timeout_ev = server.engine.schedule(
+            server.resilience.effective_root_timeout_ns, self._timeout)
+        server._client_request_once(self.app_name, self._finish)
+
+    def _finish(self, rec: RequestRecord) -> None:
+        if self.done:
+            self.server.wasted_responses += 1
+            return
+        self.done = True
+        if self.timeout_ev is not None:
+            self.timeout_ev.cancel()
+        self.on_done(rec)
+
+    def _timeout(self) -> None:
+        if self.done:
+            return
+        server = self.server
+        policy = server.resilience
+        server.rpc_timeouts += 1
+        tracer = server.engine.tracer
+        if self.attempt < policy.root_max_retries:
+            self.attempt += 1
+            server.rpc_retries += 1
+            if tracer.enabled:
+                tracer.span("retry", f"{self.app_name}#root-retry",
+                            server.engine.now, server.engine.now,
+                            track="resilience")
+            self.launch()
+            return
+        # Deadline blown and the retry budget is spent: synthesize an
+        # error response so the client is not left hanging forever.
+        self.done = True
+        server.rpc_failed += 1
+        rec = RequestRecord(
+            app_name=self.app_name, service="<root-timeout>",
+            segments=[0.0], on_complete=lambda r: None,
+            arrival_ns=self.arrival_ns, server=server.server_id)
+        rec.failed = True
+        rec.finish_ns = server.engine.now
+        self.on_done(rec)

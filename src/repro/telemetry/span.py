@@ -27,6 +27,14 @@ can rely on it:
     A blocking storage access, village egress to resume.
 ``fabric``
     An inter-server fabric message.
+``blackhole_wait``
+    Time an RPC attempt spent waiting on a response that never came
+    (failed village/NIC/link), ending at the timeout that detected it.
+``retry``
+    Backoff delay between a timed-out attempt and its re-issue.
+``hedge``
+    A speculative duplicate attempt issued after the hedge delay; its
+    children are the duplicate's own spans.
 """
 
 from __future__ import annotations
@@ -45,6 +53,11 @@ CATEGORIES: Tuple[str, ...] = (
     "icn_hop",
     "fabric",
     "storage_rpc",
+    # Fault/resilience categories: they fall into the breakdown's "other"
+    # bucket by design (the per-figure category split is frozen).
+    "blackhole_wait",
+    "retry",
+    "hedge",
 )
 
 

@@ -48,3 +48,55 @@ def test_different_seed_differs():
     a, __ = _traced_run(UMANYCORE, seed=7)
     b, __ = _traced_run(UMANYCORE, seed=8)
     assert a.summary.as_dict() != b.summary.as_dict()
+
+
+# ------------------------------------------------- faults stay deterministic
+
+def _faulted_run(seed=7):
+    """A run with a village outage and an aggressive resilience policy
+    chosen to exercise every recovery path (timeouts, retries, hedges)."""
+    from repro.faults import FaultSchedule, ResilienceConfig
+
+    sched = FaultSchedule(detection_ns=50_000.0) \
+        .fail_village(0, 1, at_ns=1_000_000.0, recover_at_ns=3_000_000.0) \
+        .degrade_village(1, 2, at_ns=500_000.0, factor=6.0)
+    policy = ResilienceConfig(timeout_ns=400_000.0, max_retries=3,
+                              hedge_delay_ns=250_000.0)
+    tracer = Tracer()
+    result = simulate(UMANYCORE, social_network_app("Text"),
+                      rps_per_server=5000, n_servers=2, duration_s=0.005,
+                      seed=seed, tracer=tracer, faults=sched,
+                      resilience=policy)
+    return result, tracer
+
+
+def test_same_seed_same_schedule_identical_including_recovery_spans():
+    """(config, app, load, seed, schedule) -> byte-identical output, and
+    the recovery machinery actually fired (the equality is not vacuous)."""
+    a, ta = _faulted_run()
+    b, tb = _faulted_run()
+    assert json.dumps(a.as_dict(), sort_keys=True) == \
+        json.dumps(b.as_dict(), sort_keys=True)
+    assert json.dumps(spans_as_dicts(ta)) == json.dumps(spans_as_dicts(tb))
+    assert json.dumps(chrome_trace(ta), sort_keys=True) == \
+        json.dumps(chrome_trace(tb), sort_keys=True)
+    categories = {s.category for s in ta.spans}
+    assert {"retry", "hedge", "blackhole_wait"} <= categories
+    assert a.fault_stats["rpc_retries"] > 0
+    assert a.fault_stats["rpc_hedges"] > 0
+
+
+def test_empty_fault_schedule_is_byte_identical_to_no_schedule():
+    """Zero-overhead default: an empty schedule must not perturb the run
+    at all — same RNG draws, same spans, same summary."""
+    from repro.faults import FaultSchedule
+
+    plain, t_plain = _traced_run(UMANYCORE)
+    t_empty = Tracer()
+    empty = simulate(UMANYCORE, social_network_app("Text"),
+                     rps_per_server=5000, n_servers=2, duration_s=0.005,
+                     seed=7, tracer=t_empty, faults=FaultSchedule())
+    assert json.dumps(plain.as_dict(), sort_keys=True) == \
+        json.dumps(empty.as_dict(), sort_keys=True)
+    assert json.dumps(spans_as_dicts(t_plain)) == \
+        json.dumps(spans_as_dicts(t_empty))
