@@ -88,7 +88,46 @@ def measure() -> dict:
     }
 
 
+def runner_equivalence() -> list:
+    """Check the repro.runner path against direct simulation.
+
+    Runs the benchmark's clean and faulted points through a jobs=2
+    :class:`~repro.runner.ParallelRunner` twice (cold, then warm from
+    the cache it just filled) and compares every ``as_dict`` field with
+    direct in-process runs.
+
+    Returns:
+        A list of failure strings (empty when equivalent).
+    """
+    import tempfile
+
+    from repro.runner import ParallelRunner, ResultCache, SweepPoint
+
+    app = social_network_app("Text")
+    points = [
+        SweepPoint(config=CONFIG, app=app, rps=RPS, n_servers=1,
+                   duration_s=DURATION_S, seed=SEED),
+        SweepPoint(config=CONFIG, app=app, rps=RPS, n_servers=1,
+                   duration_s=DURATION_S, seed=SEED, faults=_schedule(),
+                   resilience=ResilienceConfig(
+                       timeout_ns=600_000.0, max_retries=3,
+                       hedge_delay_ns=1_000_000.0)),
+    ]
+    direct = [_run(faulted=False)[1].as_dict(),
+              _run(faulted=True)[1].as_dict()]
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        for label in ("parallel", "warm-cache"):
+            results = ParallelRunner(jobs=2, cache=cache).run(points)
+            if [r.as_dict() for r in results] != direct:
+                failures.append(f"runner {label} results diverge from "
+                                f"direct simulation")
+    return failures
+
+
 def main() -> int:
+    """Entry point; returns the process exit code."""
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     mode = ap.add_mutually_exclusive_group(required=True)
     mode.add_argument("--check", action="store_true",
@@ -120,7 +159,7 @@ def main() -> int:
     doc = json.loads(BASELINE_PATH.read_text())
     base = doc["baseline"]
     tol = doc["tolerance"]["overhead_ratio_regression"]
-    failures = []
+    failures = runner_equivalence()
     limit = base["overhead_ratio"] * (1.0 + tol)
     if measured["overhead_ratio"] > limit:
         failures.append(

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Check that relative links in the repo's Markdown files resolve.
+
+Scans every tracked ``*.md`` file for inline links and flags those
+whose target does not exist on disk.  External links (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#...``) are skipped; an
+anchor suffix on a file link (``DESIGN.md#calibration``) is checked
+for file existence only.
+
+Usage::
+
+    python scripts/check_markdown_links.py [root]
+
+Exits non-zero when any link is broken, printing one line per failure.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links: [text](target).  Images share the syntax.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Fenced code blocks are stripped before scanning (``](...)`` inside
+#: example output is not a link).
+FENCE_RE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+#: Directories never scanned for Markdown files.
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules",
+             ".ruff_cache", "build", "dist"}
+
+#: Files excluded from the check: SNIPPETS.md quotes third-party
+#: material verbatim, including links to assets that live elsewhere.
+SKIP_FILES = {"SNIPPETS.md"}
+
+
+def iter_markdown(root: Path):
+    """Yield every Markdown file under ``root``, skipping junk dirs."""
+    for path in sorted(root.rglob("*.md")):
+        if path.name in SKIP_FILES:
+            continue
+        if not SKIP_DIRS.intersection(path.relative_to(root).parts):
+            yield path
+
+
+def check_file(path: Path) -> list:
+    """Return ``(line, target)`` tuples for broken links in one file.
+
+    Args:
+        path: The Markdown file to scan.
+    """
+    text = FENCE_RE.sub(lambda m: "\n" * m.group(0).count("\n"), path.read_text())
+    broken = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            if not (path.parent / rel).exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main(argv=None) -> int:
+    """Scan the tree and report broken links.
+
+    Returns:
+        0 when every relative link resolves, 1 otherwise.
+    """
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    checked = failures = 0
+    for md in iter_markdown(root):
+        checked += 1
+        for lineno, target in check_file(md):
+            failures += 1
+            print(f"{md.relative_to(root)}:{lineno}: broken link -> {target}")
+    print(f"checked {checked} markdown files, {failures} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""uManycore reproduction: a discrete-event cluster simulator.
+
+Reproduces "uManycore: A Cloud-Native CPU for Tail at Scale" in pure
+Python.  Layer map (see docs/ARCHITECTURE.md for the full tour):
+
+* :mod:`repro.sim` — the event engine everything runs on;
+* :mod:`repro.core`, :mod:`repro.sched`, :mod:`repro.mem`,
+  :mod:`repro.icn`, :mod:`repro.net` — microarchitecture, scheduling,
+  memory, on-package interconnect and inter-server fabric models;
+* :mod:`repro.systems` — the uManycore/ScaleOut/ServerClass system
+  configurations and the cluster harness
+  (:func:`repro.systems.cluster.simulate`);
+* :mod:`repro.workloads` — DeathStarBench-derived and synthetic apps;
+* :mod:`repro.telemetry`, :mod:`repro.faults` — tracing/metrics and
+  deterministic fault injection;
+* :mod:`repro.runner` — parallel, cached execution of experiment grids;
+* :mod:`repro.experiments` — one module per paper figure;
+* :mod:`repro.cli` — the ``python -m repro`` entry point.
+"""

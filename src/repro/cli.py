@@ -6,14 +6,21 @@ Examples::
     python -m repro simulate --system umanycore --json
     python -m repro trace --system umanycore --app Text --rps 15000 \
         --out trace.json
+    python -m repro faults --system umanycore --fail-village 3
+    python -m repro sweep --systems umanycore,scaleout --apps Text \
+        --loads 5000,10000,15000 --jobs 4
     python -m repro experiment fig14
+    python -m repro experiment all --jobs 8
     python -m repro list
+
+See docs/CLI.md for the full reference of every subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 from typing import List, Optional
 
 from repro.systems.configs import SCALEOUT, SERVERCLASS, SERVERCLASS_128, \
@@ -146,6 +153,7 @@ def _print_summary(result, json_mode: bool) -> None:
 
 
 def cmd_simulate(args) -> None:
+    """Run one cluster simulation and print its summary."""
     tracer = None
     if args.trace_out:
         from repro.telemetry import Tracer
@@ -202,7 +210,58 @@ def cmd_faults(args) -> None:
               + (f" ({kinds})" if kinds else ""))
 
 
+def cmd_sweep(args) -> None:
+    """Run a custom (systems x apps x loads x seeds) grid.
+
+    Points run through :mod:`repro.runner`: ``--jobs N`` fans them over
+    worker processes, completed points land in the on-disk result cache
+    (unless ``--no-cache``), and per-point progress goes to stderr so
+    stdout stays a clean table (or JSON with ``--json``).
+    """
+    from repro.experiments.common import format_table
+    from repro.runner import ResultCache, SweepSpec, run_points
+
+    spec = SweepSpec(
+        configs=tuple(SYSTEMS[s.strip()] for s in args.systems.split(",")),
+        apps=tuple(_resolve_app(a.strip()) for a in args.apps.split(",")),
+        loads=tuple(float(x) for x in args.loads.split(",")),
+        seeds=tuple(int(x) for x in args.seeds.split(",")),
+        n_servers=args.servers, duration_s=args.duration,
+        arrivals=args.arrivals)
+    points = spec.points()
+    cache = None if args.no_cache else ResultCache()
+    width = len(str(len(points)))
+
+    def progress(event: dict) -> None:
+        source = (f"worker {event['worker']}, {event['seconds']:.1f}s"
+                  if event["source"] == "run" else event["source"])
+        print(f"  [{event['index'] + 1:>{width}}/{event['total']}] "
+              f"{event['label']:36s} ({source})",
+              file=sys.stderr, flush=True)
+
+    results = run_points(points, jobs=args.jobs, cache=cache,
+                         progress=progress, memo=False)
+    if args.json:
+        print(json.dumps([r.as_dict() for r in results], indent=2,
+                         sort_keys=True))
+    else:
+        rows = [[p.config.name, p.app.name, f"{p.rps:g}", p.seed,
+                 f"{r.mean_ns / 1e3:.1f}", f"{r.p99_ns / 1e3:.1f}",
+                 f"{r.summary.p999 / 1e3:.1f}",
+                 f"{r.summary.tail_to_average:.2f}",
+                 r.completed, r.rejected]
+                for p, r in zip(points, results)]
+        print(format_table(
+            ["system", "app", "rps", "seed", "mean us", "p99 us",
+             "p999 us", "tail/avg", "completed", "rejected"], rows))
+    if cache is not None:
+        s = cache.stats()
+        print(f"cache: {s['hits']} hits, {s['misses']} misses "
+              f"({s['dir']})", file=sys.stderr)
+
+
 def cmd_experiment(args) -> None:
+    """Regenerate one paper figure (or, with ``all``, every table)."""
     import importlib
 
     mapping = {
@@ -219,10 +278,18 @@ def cmd_experiment(args) -> None:
         "all": "run_all",
     }
     module = importlib.import_module(f"repro.experiments.{mapping[args.id]}")
-    module.main()
+    if args.id == "all":
+        module.main(jobs=args.jobs, use_cache=not args.no_cache)
+        return
+    from repro.runner import ResultCache, executing
+
+    cache = None if args.no_cache else ResultCache()
+    with executing(jobs=args.jobs, cache=cache):
+        module.main()
 
 
 def cmd_list(args) -> None:
+    """List the available systems, apps and experiments."""
     print("systems:")
     for key, cfg in SYSTEMS.items():
         print(f"  {key:15s} {cfg.n_cores} cores, {cfg.topology}, "
@@ -236,6 +303,7 @@ def cmd_list(args) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser (all subcommands)."""
     parser = argparse.ArgumentParser(
         prog="repro", description="uManycore reproduction toolkit")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -323,8 +391,42 @@ def build_parser() -> argparse.ArgumentParser:
                      help="suppress the fault-schedule listing")
     flt.set_defaults(func=cmd_faults)
 
-    exp = sub.add_parser("experiment", help="regenerate a paper figure")
+    swp = sub.add_parser(
+        "sweep", help="run a custom simulation grid, in parallel and "
+                      "cached (repro.runner)")
+    swp.add_argument("--systems", default="umanycore,scaleout,serverclass",
+                     help="comma-separated system list "
+                          f"(from {', '.join(sorted(SYSTEMS))})")
+    swp.add_argument("--apps", default="Text",
+                     help="comma-separated app list (SocialNetwork "
+                          "request types or synthetic distributions)")
+    swp.add_argument("--loads", default="5000,10000,15000",
+                     help="comma-separated RPS-per-server levels")
+    swp.add_argument("--seeds", default="1",
+                     help="comma-separated seeds (one run per seed)")
+    swp.add_argument("--servers", type=int, default=2)
+    swp.add_argument("--duration", type=float, default=0.03,
+                     help="simulated seconds per point")
+    swp.add_argument("--arrivals", choices=("poisson", "bursty"),
+                     default="poisson")
+    swp.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (default 1; results are "
+                          "identical for any N)")
+    swp.add_argument("--no-cache", action="store_true",
+                     help="skip the on-disk result cache")
+    swp.add_argument("--json", action="store_true",
+                     help="print the results as a JSON array")
+    swp.set_defaults(func=cmd_sweep)
+
+    exp = sub.add_parser(
+        "experiment",
+        help="regenerate a paper figure table ('all' runs every one)")
     exp.add_argument("id", choices=EXPERIMENTS)
+    exp.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes for the figure's sweeps "
+                          "(default 1; tables are identical for any N)")
+    exp.add_argument("--no-cache", action="store_true",
+                     help="skip the on-disk result cache")
     exp.set_defaults(func=cmd_experiment)
 
     lst = sub.add_parser("list", help="list systems, apps, experiments")
@@ -333,6 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> None:
+    """CLI entry point: parse ``argv`` and dispatch."""
     args = build_parser().parse_args(argv)
     args.func(args)
 

@@ -7,7 +7,8 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.systems.cluster import RunResult, simulate
+from repro.runner import SweepPoint, run_points
+from repro.systems.cluster import RunResult
 from repro.systems.configs import SystemConfig
 from repro.workloads.spec import AppSpec
 
@@ -34,39 +35,54 @@ class Settings:
     warmup_fraction: float = 0.25
 
 
-_matrix_cache: Dict[tuple, RunResult] = {}
+def point_for(config: SystemConfig, app: AppSpec, rps: float,
+              settings: Settings, **overrides) -> SweepPoint:
+    """Describe one (system, app, load) cell as an executable point.
+
+    Args:
+        config: System configuration to simulate.
+        app: Workload (request-type) specification.
+        rps: Offered load, requests per second per server.
+        settings: Scale knobs mapped onto the point's simulation fields.
+        **overrides: Extra :class:`SweepPoint` fields (``faults``,
+            ``resilience``, ``arrivals``, ...).
+
+    Returns:
+        A :class:`~repro.runner.point.SweepPoint` ready for
+        :func:`~repro.runner.run_points`.
+    """
+    return SweepPoint(config=config, app=app, rps=float(rps),
+                      n_servers=settings.n_servers,
+                      duration_s=settings.duration_s, seed=settings.seed,
+                      warmup_fraction=settings.warmup_fraction, **overrides)
 
 
 def run_point(config: SystemConfig, app: AppSpec, rps: float,
               settings: Settings) -> RunResult:
     """One (system, app, load) cell, memoized within the process."""
-    key = (config.name, app.name, rps, settings)
-    result = _matrix_cache.get(key)
-    if result is None:
-        result = simulate(config, app, rps_per_server=rps,
-                          n_servers=settings.n_servers,
-                          duration_s=settings.duration_s,
-                          seed=settings.seed,
-                          warmup_fraction=settings.warmup_fraction)
-        _matrix_cache[key] = result
-    return result
+    return run_points([point_for(config, app, rps, settings)])[0]
 
 
 def run_matrix(configs: Sequence[SystemConfig], apps: Sequence[AppSpec],
                loads: Sequence[float], settings: Settings,
                progress: bool = False
                ) -> Dict[Tuple[str, str, float], RunResult]:
-    """Cross product of systems x apps x loads."""
-    out = {}
-    for rps in loads:
-        for app in apps:
-            for config in configs:
-                if progress:
-                    print(f"  running {config.name} / {app.name} @ {rps} RPS",
-                          flush=True)
-                out[(config.name, app.name, rps)] = run_point(
-                    config, app, rps, settings)
-    return out
+    """Cross product of systems x apps x loads.
+
+    The whole grid is submitted to :func:`~repro.runner.run_points` as
+    one batch, so ``run_all --jobs N`` parallelises it transparently;
+    the returned table is identical for any jobs count or cache state.
+    """
+    cells = [(config, app, rps)
+             for rps in loads for app in apps for config in configs]
+    if progress:
+        for config, app, rps in cells:
+            print(f"  running {config.name} / {app.name} @ {rps} RPS",
+                  flush=True)
+    results = run_points([point_for(config, app, rps, settings)
+                          for config, app, rps in cells])
+    return {(config.name, app.name, rps): result
+            for (config, app, rps), result in zip(cells, results)}
 
 
 def format_table(headers: List[str], rows: Iterable[Sequence]) -> str:
@@ -83,6 +99,7 @@ def format_table(headers: List[str], rows: Iterable[Sequence]) -> str:
 
 
 def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
     arr = np.asarray(list(values), dtype=float)
     if len(arr) == 0 or (arr <= 0).any():
         raise ValueError("geomean needs positive values")

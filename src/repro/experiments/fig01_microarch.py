@@ -52,6 +52,7 @@ def run(n_accesses: int = 120_000, n_branches: int = 60_000,
 
 
 def main() -> None:
+    """Print this figure's tables to stdout."""
     results = run()
     paper = {"D-Prefetcher": (1.19, 1.02), "Branch Predictor": (1.14, 1.01),
              "I-Prefetcher": (1.16, 1.00), "I-Cache Replace": (1.02, 1.00)}

@@ -16,8 +16,8 @@ from dataclasses import replace
 from typing import Dict, List, Tuple
 
 from repro.core.context_switch import ContextSwitchConfig
-from repro.experiments.common import Settings, format_table
-from repro.systems.cluster import simulate
+from repro.experiments.common import Settings, format_table, point_for
+from repro.runner import run_points
 from repro.systems.configs import SCALEOUT
 from repro.workloads.deathstar import social_network_app
 
@@ -58,19 +58,17 @@ def run(rps: float = 50_000, compute_scale: float = 15.0,
     """Average and P99 response time per (queue count, stealing)."""
     app = social_network_app("Text", compute_scale=compute_scale,
                              segment_cv=0.3)
-    out: Dict[Tuple[int, bool], Dict[str, float]] = {}
-    for steal in (False, True):
-        for n_queues in queue_counts:
-            r = simulate(_config(n_queues, steal), app, rps_per_server=rps,
-                         n_servers=settings.n_servers,
-                         duration_s=settings.duration_s, seed=settings.seed,
-                         warmup_fraction=settings.warmup_fraction)
-            out[(n_queues, steal)] = {"mean_us": r.mean_ns / 1e3,
-                                      "p99_us": r.p99_ns / 1e3}
-    return out
+    cells = [(n_queues, steal)
+             for steal in (False, True) for n_queues in queue_counts]
+    results = run_points([point_for(_config(n_queues, steal), app, rps,
+                                    settings)
+                          for n_queues, steal in cells])
+    return {cell: {"mean_us": r.mean_ns / 1e3, "p99_us": r.p99_ns / 1e3}
+            for cell, r in zip(cells, results)}
 
 
 def main() -> None:
+    """Print this figure's tables to stdout."""
     results = run()
     rows: List[List[str]] = []
     for n_queues in QUEUE_COUNTS:

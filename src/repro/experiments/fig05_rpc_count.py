@@ -15,6 +15,7 @@ from repro.workloads.alibaba import AlibabaTraceGenerator, cdf
 
 
 def run(n: int = 200_000, seed: int = 7) -> Dict[str, np.ndarray]:
+    """Compute this figure's data grid (see the module docstring)."""
     gen = AlibabaTraceGenerator(np.random.default_rng(seed))
     rpcs = gen.rpc_count(n).astype(float)
     grid = np.arange(0, 41, 5, dtype=float)
@@ -22,6 +23,7 @@ def run(n: int = 200_000, seed: int = 7) -> Dict[str, np.ndarray]:
 
 
 def main() -> None:
+    """Print this figure's tables to stdout."""
     r = run()
     rows = [[f"{int(g)}", f"{c:.3f}"] for g, c in zip(r["grid"], r["cdf"])]
     print("Figure 5: CDF of RPC invocations per request")

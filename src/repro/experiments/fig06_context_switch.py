@@ -16,8 +16,8 @@ from dataclasses import replace
 from typing import Dict, Tuple
 
 from repro.core.context_switch import ContextSwitchConfig
-from repro.experiments.common import Settings, format_table
-from repro.systems.cluster import simulate
+from repro.experiments.common import Settings, format_table, point_for
+from repro.runner import run_points
 from repro.systems.configs import SCALEOUT
 from repro.workloads.deathstar import social_network_app
 
@@ -45,18 +45,14 @@ def run(loads: Tuple[int, ...] = LOADS,
         ) -> Dict[Tuple[int, int], float]:
     """P99 (ns) per (cs_cycles, load)."""
     app = social_network_app("Text")
-    out: Dict[Tuple[int, int], float] = {}
-    for rps in loads:
-        for cycles in cs_cycles:
-            r = simulate(_config(cycles), app, rps_per_server=rps,
-                         n_servers=settings.n_servers,
-                         duration_s=settings.duration_s, seed=settings.seed,
-                         warmup_fraction=settings.warmup_fraction)
-            out[(cycles, rps)] = r.p99_ns
-    return out
+    cells = [(cycles, rps) for rps in loads for cycles in cs_cycles]
+    results = run_points([point_for(_config(cycles), app, rps, settings)
+                          for cycles, rps in cells])
+    return {cell: r.p99_ns for cell, r in zip(cells, results)}
 
 
 def main() -> None:
+    """Print this figure's tables to stdout."""
     results = run()
     rows = []
     for cycles in CS_CYCLES:

@@ -14,8 +14,8 @@ from dataclasses import replace
 from typing import Dict, Tuple
 
 from repro.core.context_switch import HARDWARE_CS
-from repro.experiments.common import Settings, format_table
-from repro.systems.cluster import simulate
+from repro.experiments.common import Settings, format_table, point_for
+from repro.runner import run_points
 from repro.systems.configs import SCALEOUT
 from repro.workloads.deathstar import social_network_app
 
@@ -42,23 +42,20 @@ def run(loads: Tuple[int, ...] = LOADS,
         ) -> Dict[Tuple[str, int], float]:
     """Normalized tail (contention / no-contention) per (topology, load)."""
     app = social_network_app("Text", compute_scale=compute_scale)
-    out: Dict[Tuple[str, int], float] = {}
-    for topology in TOPOLOGIES:
-        for rps in loads:
-            tails = {}
-            for contention in (True, False):
-                r = simulate(_config(topology, contention), app,
-                             rps_per_server=rps,
-                             n_servers=settings.n_servers,
-                             duration_s=settings.duration_s,
-                             seed=settings.seed,
-                             warmup_fraction=settings.warmup_fraction)
-                tails[contention] = r.p99_ns
-            out[(topology, rps)] = tails[True] / tails[False]
-    return out
+    cells = [(topology, rps, contention)
+             for topology in TOPOLOGIES for rps in loads
+             for contention in (True, False)]
+    results = run_points(
+        [point_for(_config(topology, contention), app, rps, settings)
+         for topology, rps, contention in cells])
+    tails = {cell: r.p99_ns for cell, r in zip(cells, results)}
+    return {(topology, rps): (tails[(topology, rps, True)]
+                              / tails[(topology, rps, False)])
+            for topology in TOPOLOGIES for rps in loads}
 
 
 def main() -> None:
+    """Print this figure's tables to stdout."""
     results = run()
     rows = []
     for rps in LOADS:

@@ -34,6 +34,7 @@ def run(n_handlers: int = 20, seed: int = 0) -> Dict[str, Dict[str, float]]:
 
 
 def main() -> None:
+    """Print this figure's tables to stdout."""
     results = run()
     rows = [[group] + [f"{results[group][bar]:.3f}" for bar in BARS]
             for group in results]

@@ -65,6 +65,7 @@ def run(n_accesses: int = 120_000, seed: int = 0) -> Dict[str, Dict[str, float]]
 
 
 def main() -> None:
+    """Print this figure's tables to stdout."""
     results = run()
     headers = ["kind", "L1TLB", "L1Cache", "L2TLB", "L2Cache"]
     rows = [[kind] + [f"{results[kind][k]:.3f}" for k in headers[1:]]

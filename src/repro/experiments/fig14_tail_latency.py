@@ -12,6 +12,7 @@ from repro.experiments.latency_matrix import reduction_vs, run
 
 
 def main(settings: Settings = Settings(), progress: bool = True) -> None:
+    """Print this figure's tables to stdout."""
     matrix = run(settings=settings, progress=progress)
     paper_sc = {5000: 6.3, 10000: 8.3, 15000: 16.7}
     paper_so = {5000: 5.4, 10000: 6.5, 15000: 7.4}

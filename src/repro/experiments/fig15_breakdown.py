@@ -21,7 +21,8 @@ from typing import Dict, Tuple
 
 from repro.experiments.ascii_plot import bar_chart
 from repro.experiments.common import APP_ORDER, Settings, format_table, \
-    geomean
+    geomean, point_for
+from repro.runner import run_points
 from repro.systems.cluster import simulate
 from repro.systems.configs import SCALEOUT, ablation_ladder
 from repro.telemetry import BREAKDOWN_CATEGORIES, Tracer, \
@@ -35,17 +36,13 @@ PAPER = {"+Villages": 1.1, "+Leaf-spine": 2.3, "+HW Scheduling": 3.9,
 def run(rps: float = 15_000, apps=tuple(APP_ORDER),
         settings: Settings = Settings()) -> Dict[Tuple[str, str], float]:
     """P99 (ns) per (step name, app); step 'ScaleOut' is the baseline."""
-    out: Dict[Tuple[str, str], float] = {}
     steps = [SCALEOUT] + ablation_ladder()
-    for app_name in apps:
-        app = social_network_app(app_name)
-        for cfg in steps:
-            r = simulate(cfg, app, rps_per_server=rps,
-                         n_servers=settings.n_servers,
-                         duration_s=settings.duration_s, seed=settings.seed,
-                         warmup_fraction=settings.warmup_fraction)
-            out[(cfg.name, app_name)] = r.p99_ns
-    return out
+    cells = [(cfg, social_network_app(app_name), app_name)
+             for app_name in apps for cfg in steps]
+    results = run_points([point_for(cfg, app, rps, settings)
+                          for cfg, app, __ in cells])
+    return {(cfg.name, app_name): r.p99_ns
+            for (cfg, __, app_name), r in zip(cells, results)}
 
 
 def span_breakdown(rps: float = 15_000, app_name: str = "Text",
@@ -71,6 +68,7 @@ def span_breakdown(rps: float = 15_000, app_name: str = "Text",
 
 
 def main(settings: Settings = Settings()) -> None:
+    """Print this figure's tables to stdout."""
     results = run(settings=settings)
     step_names = [cfg.name for cfg in ablation_ladder()]
     rows = []

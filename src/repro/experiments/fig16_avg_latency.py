@@ -13,6 +13,7 @@ from repro.experiments.latency_matrix import reduction_vs, run
 
 
 def main(settings: Settings = Settings(), progress: bool = True) -> None:
+    """Print this figure's tables to stdout."""
     matrix = run(settings=settings, progress=progress)
     paper_sc = {5000: 2.3, 10000: 3.2, 15000: 5.6}
     paper_so = {5000: 2.1, 10000: 2.5, 15000: 3.2}

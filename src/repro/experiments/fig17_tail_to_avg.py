@@ -15,6 +15,7 @@ from repro.experiments.latency_matrix import run
 
 
 def main(settings: Settings = Settings(), progress: bool = True) -> None:
+    """Print this figure's tables to stdout."""
     matrix = run(settings=settings, progress=progress)
     rows = []
     ratios = {"uManycore": [], "ScaleOut": [], "ServerClass": []}

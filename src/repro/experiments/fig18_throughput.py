@@ -13,11 +13,12 @@ nothing is rejected.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from repro.experiments.common import Settings, format_table, geomean
+from repro.experiments.common import Settings, format_table, geomean, \
+    point_for
 from repro.metrics.throughput import qos_threshold_ns
-from repro.systems.cluster import simulate
+from repro.runner import SweepPoint, run_points
 from repro.systems.configs import SCALEOUT, SERVERCLASS, UMANYCORE
 from repro.workloads.deathstar import social_network_app
 
@@ -25,47 +26,84 @@ SYSTEMS = (UMANYCORE, SCALEOUT, SERVERCLASS)
 DEFAULT_APPS = ("Text", "SGraph", "CPost", "UrlShort")
 
 
-def _passes(config, app, rps: float, threshold_ns: float,
-            settings: Settings) -> bool:
-    r = simulate(config, app, rps_per_server=rps,
-                 n_servers=settings.n_servers,
-                 duration_s=settings.duration_s, seed=settings.seed,
-                 warmup_fraction=settings.warmup_fraction)
-    return r.p99_ns <= threshold_ns and r.rejected == 0
+def _passes(result, threshold_ns: float) -> bool:
+    return result.p99_ns <= threshold_ns and result.rejected == 0
+
+
+def max_throughputs(pairs: Sequence[Tuple], settings: Settings,
+                    low: float = 1000.0, high: float = 300_000.0,
+                    iterations: int = 8) -> List[float]:
+    """Lockstep binary search over many (config, app) pairs at once.
+
+    Every round batches the probe loads of *all* still-active pairs
+    into one :func:`~repro.runner.run_points` call, so the search
+    parallelises across pairs while each pair runs the exact sequence
+    of simulations the serial per-pair search would — the returned
+    loads are independent of the jobs count.
+
+    Args:
+        pairs: (config, app) pairs to search, in result order.
+        settings: Scale knobs for the probe runs.
+        low: Load that must pass for the search to proceed; returned
+            as-is for pairs that fail it.
+        high: Upper bracket of the search (never probed directly).
+        iterations: Bisection rounds; the bracket shrinks 2^-it.
+
+    Returns:
+        The largest QoS-compliant per-server load found for each pair,
+        positionally aligned with ``pairs``.
+    """
+    # Round 0: contention-free calibration sets each pair's threshold.
+    thresholds = [
+        qos_threshold_ns(r.mean_ns) for r in run_points(
+            [SweepPoint(config=config, app=app, rps=200.0, n_servers=1,
+                        duration_s=min(0.05, settings.duration_s * 2),
+                        seed=settings.seed, warmup_fraction=0.1)
+             for config, app in pairs])]
+    # Round 1: pairs that fail at `low` drop out and just return it.
+    lows = [low] * len(pairs)
+    highs = [high] * len(pairs)
+    first = run_points([point_for(config, app, low, settings)
+                        for config, app in pairs])
+    active = [i for i, r in enumerate(first)
+              if _passes(r, thresholds[i])]
+    # Bisection rounds: one batched probe per round for every live pair.
+    for __ in range(iterations):
+        if not active:
+            break
+        mids = [(lows[i] + highs[i]) / 2.0 for i in active]
+        probes = run_points(
+            [point_for(pairs[i][0], pairs[i][1], mid, settings)
+             for i, mid in zip(active, mids)])
+        for i, mid, r in zip(active, mids, probes):
+            if _passes(r, thresholds[i]):
+                lows[i] = mid
+            else:
+                highs[i] = mid
+    return lows
 
 
 def max_throughput(config, app, settings: Settings,
                    low: float = 1000.0, high: float = 300_000.0,
                    iterations: int = 8) -> float:
     """Binary search for the largest QoS-compliant per-server load."""
-    calib = simulate(config, app, rps_per_server=200.0,
-                     n_servers=1, duration_s=min(0.05, settings.duration_s * 2),
-                     seed=settings.seed, warmup_fraction=0.1)
-    threshold = qos_threshold_ns(calib.mean_ns)
-    if not _passes(config, app, low, threshold, settings):
-        return low
-    for __ in range(iterations):
-        mid = (low + high) / 2.0
-        if _passes(config, app, mid, threshold, settings):
-            low = mid
-        else:
-            high = mid
-    return low
+    return max_throughputs([(config, app)], settings, low=low, high=high,
+                           iterations=iterations)[0]
 
 
 def run(apps: Sequence[str] = DEFAULT_APPS,
         settings: Settings = Settings(n_servers=1, duration_s=0.02)
         ) -> Dict[Tuple[str, str], float]:
-    out: Dict[Tuple[str, str], float] = {}
-    for app_name in apps:
-        app = social_network_app(app_name)
-        for config in SYSTEMS:
-            out[(config.name, app_name)] = max_throughput(
-                config, app, settings)
-    return out
+    """Max QoS-compliant throughput per (system, app) pair."""
+    pairs = [(config, social_network_app(app_name))
+             for app_name in apps for config in SYSTEMS]
+    loads = max_throughputs(pairs, settings)
+    return {(config.name, app.name): load
+            for (config, app), load in zip(pairs, loads)}
 
 
 def main() -> None:
+    """Print this figure's tables to stdout."""
     results = run()
     apps = sorted({app for __, app in results})
     rows = []

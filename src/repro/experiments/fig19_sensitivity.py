@@ -13,8 +13,9 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.experiments.common import APP_ORDER, Settings, format_table
-from repro.systems.cluster import simulate
+from repro.experiments.common import APP_ORDER, Settings, format_table, \
+    point_for
+from repro.runner import run_points
 from repro.systems.configs import umanycore_variant
 from repro.workloads.deathstar import social_network_app
 
@@ -23,19 +24,17 @@ SHAPES = ((8, 4, 32), (32, 1, 32), (32, 2, 16), (32, 4, 8))
 
 def run(rps: float = 15_000, apps=tuple(APP_ORDER),
         settings: Settings = Settings()) -> Dict[Tuple[Tuple, str], float]:
-    out: Dict[Tuple[Tuple, str], float] = {}
-    for app_name in apps:
-        app = social_network_app(app_name)
-        for shape in SHAPES:
-            r = simulate(umanycore_variant(*shape), app, rps_per_server=rps,
-                         n_servers=settings.n_servers,
-                         duration_s=settings.duration_s, seed=settings.seed,
-                         warmup_fraction=settings.warmup_fraction)
-            out[(shape, app_name)] = r.p99_ns
-    return out
+    """P99 (ns) per (topology shape, app) at one load."""
+    cells = [(shape, app_name) for app_name in apps for shape in SHAPES]
+    results = run_points(
+        [point_for(umanycore_variant(*shape), social_network_app(app_name),
+                   rps, settings)
+         for shape, app_name in cells])
+    return {cell: r.p99_ns for cell, r in zip(cells, results)}
 
 
 def main(settings: Settings = Settings()) -> None:
+    """Print this figure's tables to stdout."""
     results = run(settings=settings)
     headers = ["app"] + ["x".join(map(str, s)) for s in SHAPES]
     rows = []

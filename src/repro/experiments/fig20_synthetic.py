@@ -13,8 +13,8 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.experiments.common import PAPER_LOADS, Settings, format_table, \
-    geomean
-from repro.systems.cluster import simulate
+    geomean, point_for
+from repro.runner import run_points
 from repro.systems.configs import SCALEOUT, SERVERCLASS, UMANYCORE
 from repro.workloads.synthetic import SYNTHETIC_DISTRIBUTIONS, synthetic_app
 
@@ -24,21 +24,21 @@ SYSTEMS = (UMANYCORE, SCALEOUT, SERVERCLASS)
 def run(loads=PAPER_LOADS, settings: Settings = Settings()
         ) -> Dict[Tuple[str, str, int], float]:
     """P99 (ns) per (system, distribution, load)."""
-    out: Dict[Tuple[str, str, int], float] = {}
-    for dist in SYNTHETIC_DISTRIBUTIONS:
-        app = synthetic_app(dist, mean_service_us=120.0, blocking_calls=4)
-        for rps in loads:
-            for config in SYSTEMS:
-                r = simulate(config, app, rps_per_server=rps,
-                             n_servers=settings.n_servers,
-                             duration_s=settings.duration_s,
-                             seed=settings.seed,
-                             warmup_fraction=settings.warmup_fraction)
-                out[(config.name, dist, rps)] = r.p99_ns
-    return out
+    cells = [(config, dist, rps)
+             for dist in SYNTHETIC_DISTRIBUTIONS
+             for rps in loads for config in SYSTEMS]
+    results = run_points(
+        [point_for(config,
+                   synthetic_app(dist, mean_service_us=120.0,
+                                 blocking_calls=4),
+                   rps, settings)
+         for config, dist, rps in cells])
+    return {(config.name, dist, rps): r.p99_ns
+            for (config, dist, rps), r in zip(cells, results)}
 
 
 def main(settings: Settings = Settings()) -> None:
+    """Print this figure's tables to stdout."""
     results = run(settings=settings)
     rows = []
     ratios_sc, ratios_so = [], []

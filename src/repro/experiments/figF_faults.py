@@ -24,9 +24,10 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import Settings, format_table
+from repro.experiments.common import Settings, format_table, point_for
 from repro.faults import FaultSchedule, ResilienceConfig
 from repro.icn import FatTree, HierarchicalLeafSpine, Mesh2D, Topology
+from repro.runner import run_points
 from repro.systems.cluster import ClusterSimulation, RunResult
 from repro.systems.configs import UMANYCORE
 from repro.workloads.deathstar import social_network_app
@@ -80,22 +81,26 @@ def run(failed_links: Tuple[int, ...] = FAILED_LINKS,
     byte-identical to the pre-fault simulator.
     """
     app = social_network_app("Text")
-    out: Dict[Tuple[str, int], RunResult] = {}
+    points, cells = [], []
     for cfg in VARIANTS:
+        # A throwaway (never-run) build of the server exposes the
+        # topology's node names, from which the fault targets are picked.
+        topo = ClusterSimulation(
+            cfg, app, rps, n_servers=1, duration_s=settings.duration_s,
+            seed=settings.seed).servers[0].topology
         for k in failed_links:
-            sim = ClusterSimulation(
-                cfg, app, rps, n_servers=settings.n_servers,
-                duration_s=settings.duration_s, seed=settings.seed,
-                warmup_fraction=settings.warmup_fraction)
+            faults = resilience = None
             if k:
                 fail_at = 0.3 * settings.duration_s * 1e9
                 sched = FaultSchedule()
-                for (u, v) in pick_links(sim.servers[0].topology, k):
+                for (u, v) in pick_links(topo, k):
                     for sid in range(settings.n_servers):
                         sched.fail_link(sid, u, v, at_ns=fail_at)
-                sim.install_faults(sched, RESILIENCE)
-            out[(cfg.name, k)] = sim.run()
-    return out
+                faults, resilience = sched, RESILIENCE
+            cells.append((cfg.name, k))
+            points.append(point_for(cfg, app, rps, settings,
+                                    faults=faults, resilience=resilience))
+    return dict(zip(cells, run_points(points)))
 
 
 def _bar(ratio: float, scale: float = 2.0, width: int = 32) -> str:
@@ -104,6 +109,7 @@ def _bar(ratio: float, scale: float = 2.0, width: int = 32) -> str:
 
 
 def main() -> None:
+    """Print this figure's tables to stdout."""
     results = run()
     print("Figure F: p99 and goodput vs failed leaf-adjacent links\n")
     rows = []

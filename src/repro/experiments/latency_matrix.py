@@ -22,6 +22,7 @@ def run(loads: Sequence[int] = PAPER_LOADS,
         apps: Sequence[str] = tuple(APP_ORDER),
         settings: Settings = Settings(),
         progress: bool = False) -> Dict[Tuple[str, str, float], RunResult]:
+    """Run the shared 3-systems x apps x loads latency matrix."""
     app_specs = [social_network_app(name) for name in apps]
     return run_matrix(SYSTEMS, app_specs, loads, settings, progress=progress)
 

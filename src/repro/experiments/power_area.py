@@ -18,6 +18,7 @@ from repro.systems.configs import SCALEOUT, SERVERCLASS, SERVERCLASS_128, \
 
 
 def run() -> Dict[str, Dict[str, float]]:
+    """Compute per-system power and area budgets."""
     out = {}
     for cfg in (UMANYCORE, SCALEOUT, SERVERCLASS, SERVERCLASS_128):
         b = system_budget(cfg)
@@ -34,6 +35,7 @@ def run() -> Dict[str, Dict[str, float]]:
 
 
 def main() -> None:
+    """Print this figure's tables to stdout."""
     results = run()
     paper_per_core = {"uManycore": 0.408, "ScaleOut": 0.396,
                       "ServerClass": 10.225, "ServerClass-128": 10.225}

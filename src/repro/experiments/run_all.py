@@ -1,15 +1,23 @@
 """Run every experiment and print all paper-figure tables.
 
-``python -m repro.experiments.run_all [--quick]``
+``python -m repro.experiments.run_all [--quick] [--jobs N] [--no-cache]
+[--resume]``
 
 ``--quick`` uses reduced scales (useful for smoke-testing the harness);
 the default takes tens of minutes and produces the numbers recorded in
-EXPERIMENTS.md.
+EXPERIMENTS.md.  ``--jobs N`` fans the independent simulation points of
+each figure over N worker processes; the printed tables are identical
+for any jobs count.  Results are cached on disk (see
+:mod:`repro.runner`) keyed by configuration *and* code version, so a
+re-run after an interrupt — or a second full run — only simulates what
+changed; ``--no-cache`` forces everything to recompute and ``--resume``
+additionally skips whole sections that a previous run with the same
+settings already printed.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 import time
 
 from repro.experiments import (
@@ -33,6 +41,8 @@ from repro.experiments import (
     sec68_iso_area,
 )
 from repro.experiments.common import Settings
+from repro.runner import ResultCache, code_version, digest, executing, \
+    fingerprint
 
 SECTIONS = [
     ("Figure 1", fig01_microarch.main),
@@ -54,24 +64,83 @@ SECTIONS = [
 ]
 
 
-def main(quick: bool = False) -> None:
+def _section_marker(cache: ResultCache, title: str,
+                    settings: Settings):
+    """Path of the done-marker for one section under these settings."""
+    key = digest({"code": code_version(), "settings": fingerprint(settings),
+                  "title": title})
+    return cache.root / "sections" / f"{key}.done"
+
+
+def _run_section(title, runner, settings) -> None:
+    if runner is None:
+        fig14_tail_latency.main(settings=settings, progress=False)
+        fig16_avg_latency.main(settings=settings, progress=False)
+        fig17_tail_to_avg.main(settings=settings, progress=False)
+    elif runner in (fig15_breakdown.main, fig19_sensitivity.main,
+                    fig20_synthetic.main, sec68_iso_area.main):
+        runner(settings=settings)
+    else:
+        runner()
+
+
+def main(quick: bool = False, jobs: int = 1, use_cache: bool = True,
+         resume: bool = False) -> None:
+    """Print every figure table.
+
+    Args:
+        quick: Use reduced scales (the ``--quick`` smoke configuration).
+        jobs: Worker processes for the simulation sweeps (1 = serial).
+        use_cache: Consult/populate the on-disk result cache.
+        resume: Skip sections a previous same-settings run completed
+            (their tables are *not* reprinted); requires the cache.
+    """
+    if resume and not use_cache:
+        raise SystemExit("--resume requires the result cache "
+                         "(drop --no-cache)")
     settings = Settings(n_servers=1, duration_s=0.02) if quick else Settings()
+    cache = ResultCache() if use_cache else None
     start = time.time()
-    for title, runner in SECTIONS:
-        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}", flush=True)
-        t0 = time.time()
-        if runner is None:
-            fig14_tail_latency.main(settings=settings, progress=False)
-            fig16_avg_latency.main(settings=settings, progress=False)
-            fig17_tail_to_avg.main(settings=settings, progress=False)
-        elif runner in (fig15_breakdown.main, fig19_sensitivity.main,
-                        fig20_synthetic.main, sec68_iso_area.main):
-            runner(settings=settings)
-        else:
-            runner()
-        print(f"[{title} done in {time.time() - t0:.0f}s]", flush=True)
+    with executing(jobs=jobs, cache=cache):
+        for title, runner in SECTIONS:
+            marker = _section_marker(cache, title, settings) if cache else None
+            if resume and marker is not None and marker.exists():
+                print(f"\n[{title} skipped: done in a previous run "
+                      f"(--resume)]", flush=True)
+                continue
+            print(f"\n{'=' * 72}\n{title}\n{'=' * 72}", flush=True)
+            t0 = time.time()
+            _run_section(title, runner, settings)
+            print(f"[{title} done in {time.time() - t0:.0f}s]", flush=True)
+            if marker is not None:
+                marker.parent.mkdir(parents=True, exist_ok=True)
+                marker.touch()
     print(f"\ntotal: {time.time() - start:.0f}s")
+    if cache is not None:
+        s = cache.stats()
+        print(f"cache: {s['hits']} hits, {s['misses']} misses "
+              f"({s['dir']})")
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    """Build and run the ``run_all`` argument parser."""
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.experiments.run_all",
+        description="regenerate every paper-figure table")
+    ap.add_argument("--quick", action="store_true",
+                    help="reduced scales (smoke-test the harness)")
+    ap.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="simulation worker processes (default 1)")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="recompute everything; skip the on-disk "
+                         "result cache")
+    ap.add_argument("--resume", action="store_true",
+                    help="skip sections completed by a previous run "
+                         "with the same settings and code")
+    return ap.parse_args(argv)
 
 
 if __name__ == "__main__":
-    main(quick="--quick" in sys.argv)
+    _args = parse_args()
+    main(quick=_args.quick, jobs=_args.jobs,
+         use_cache=not _args.no_cache, resume=_args.resume)

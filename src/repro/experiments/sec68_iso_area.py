@@ -11,9 +11,9 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.experiments.common import PAPER_LOADS, Settings, format_table, \
-    geomean
+    geomean, point_for
 from repro.power import system_budget
-from repro.systems.cluster import simulate
+from repro.runner import run_points
 from repro.systems.configs import SERVERCLASS_128, UMANYCORE
 from repro.workloads.deathstar import social_network_app
 
@@ -22,21 +22,19 @@ DEFAULT_APPS = ("Text", "SGraph", "CPost", "UrlShort")
 
 def run(apps=DEFAULT_APPS, loads=PAPER_LOADS,
         settings: Settings = Settings()) -> Dict[Tuple[str, str, int], float]:
-    out: Dict[Tuple[str, str, int], float] = {}
-    for app_name in apps:
-        app = social_network_app(app_name)
-        for rps in loads:
-            for config in (UMANYCORE, SERVERCLASS_128):
-                r = simulate(config, app, rps_per_server=rps,
-                             n_servers=settings.n_servers,
-                             duration_s=settings.duration_s,
-                             seed=settings.seed,
-                             warmup_fraction=settings.warmup_fraction)
-                out[(config.name, app_name, rps)] = r.p99_ns
-    return out
+    """P99 (ns) per (system, app, load) for the iso-area pair."""
+    cells = [(config, app_name, rps)
+             for app_name in apps for rps in loads
+             for config in (UMANYCORE, SERVERCLASS_128)]
+    results = run_points(
+        [point_for(config, social_network_app(app_name), rps, settings)
+         for config, app_name, rps in cells])
+    return {(config.name, app_name, rps): r.p99_ns
+            for (config, app_name, rps), r in zip(cells, results)}
 
 
 def main(settings: Settings = Settings()) -> None:
+    """Print this figure's tables to stdout."""
     results = run(settings=settings)
     apps = sorted({a for __, a, __l in results})
     rows, ratios = [], []

@@ -26,6 +26,14 @@ class FaultInjector:
 
     def __init__(self, engine: Engine, servers: Sequence,
                  schedule: FaultSchedule):
+        """Bind a schedule to the cluster it will be injected into.
+
+        Args:
+            engine: The discrete-event engine events are scheduled on.
+            servers: The cluster's server objects, indexed by server id.
+            schedule: The fault schedule to apply (call :meth:`install`
+                before running the engine).
+        """
         self.engine = engine
         self.servers = list(servers)
         self.schedule = schedule
@@ -103,6 +111,8 @@ class FaultInjector:
     # -------------------------------------------------------------- stats
 
     def stats(self) -> dict:
+        """Injection counters: events applied so far, by kind, and the
+        schedule's size and detection lag."""
         return {"injected": self.injected, "by_kind": dict(self.by_kind),
                 "scheduled": len(self.schedule),
                 "detection_ns": self.schedule.detection_ns}

@@ -64,10 +64,12 @@ class ResilienceConfig:
 
     @property
     def effective_root_timeout_ns(self) -> float:
+        """Whole-request deadline (explicit, or derived per the docs)."""
         if self.root_timeout_ns is not None:
             return self.root_timeout_ns
         return self.timeout_ns * (self.max_retries + 2)
 
     @property
     def hedging(self) -> bool:
+        """True when hedged duplicate RPCs are enabled."""
         return self.hedge_delay_ns > 0

@@ -57,6 +57,7 @@ class FaultEvent:
                 raise ValueError("degrade factor must be positive")
 
     def as_dict(self) -> dict:
+        """Return the event as a JSON-serializable dict."""
         return {"time_ns": self.time_ns, "kind": self.kind,
                 "action": self.action, "target": list(self.target),
                 "factor": self.factor}
@@ -87,6 +88,7 @@ class FaultSchedule:
         return sorted(self._events, key=lambda e: e.time_ns)
 
     def add(self, event: FaultEvent) -> "FaultSchedule":
+        """Append one event; returns self for chaining."""
         self._events.append(event)
         return self
 
@@ -103,6 +105,17 @@ class FaultSchedule:
 
     def fail_village(self, server: int, village: int, at_ns: float,
                      recover_at_ns: Optional[float] = None) -> "FaultSchedule":
+        """Fail a whole village at ``at_ns`` (optionally recovering).
+
+        Args:
+            server: Server the village lives on.
+            village: Village index within the server.
+            at_ns: Failure time in simulated ns.
+            recover_at_ns: Recovery time; None means it stays down.
+
+        Returns:
+            self, for fluent chaining.
+        """
         self.add(FaultEvent(at_ns, "village", "fail", (server, village)))
         if recover_at_ns is not None:
             self.add(FaultEvent(recover_at_ns, "village", "recover",
@@ -113,6 +126,18 @@ class FaultSchedule:
                         factor: float,
                         recover_at_ns: Optional[float] = None
                         ) -> "FaultSchedule":
+        """Gray-fail a village: it keeps serving, ``factor``x slower.
+
+        Args:
+            server: Server the village lives on.
+            village: Village index within the server.
+            at_ns: Degradation onset in simulated ns.
+            factor: Slowdown multiplier (>1 = slower).
+            recover_at_ns: When full speed returns; None means never.
+
+        Returns:
+            self, for fluent chaining.
+        """
         self.add(FaultEvent(at_ns, "village", "degrade", (server, village),
                             factor=factor))
         if recover_at_ns is not None:
@@ -122,6 +147,7 @@ class FaultSchedule:
 
     def fail_core(self, server: int, village: int, core: int, at_ns: float,
                   recover_at_ns: Optional[float] = None) -> "FaultSchedule":
+        """Fail one core of a village (see :meth:`fail_village`)."""
         self.add(FaultEvent(at_ns, "core", "fail", (server, village, core)))
         if recover_at_ns is not None:
             self.add(FaultEvent(recover_at_ns, "core", "recover",
@@ -130,6 +156,11 @@ class FaultSchedule:
 
     def fail_link(self, server: int, u: str, v: str, at_ns: float,
                   recover_at_ns: Optional[float] = None) -> "FaultSchedule":
+        """Fail the ICN link between nodes ``u`` and ``v`` by name.
+
+        Node names come from the topology (e.g. ``leaf0:0``,
+        ``spine0:0``); traffic routed across a dead link blackholes.
+        """
         self.add(FaultEvent(at_ns, "link", "fail", (server, u, v)))
         if recover_at_ns is not None:
             self.add(FaultEvent(recover_at_ns, "link", "recover",
@@ -138,6 +169,7 @@ class FaultSchedule:
 
     def fail_nic(self, server: int, village: int, which: str, at_ns: float,
                  recover_at_ns: Optional[float] = None) -> "FaultSchedule":
+        """Fail a village's local (``lnic``) or remote (``rnic``) NIC."""
         if which not in ("lnic", "rnic"):
             raise ValueError(f"nic must be 'lnic' or 'rnic', got {which!r}")
         self.add(FaultEvent(at_ns, "nic", "fail", (server, village, which)))
@@ -198,9 +230,11 @@ class FaultSchedule:
     # ------------------------------------------------------------- export
 
     def as_dicts(self) -> List[dict]:
+        """Return the sorted event list as JSON-serializable dicts."""
         return [e.as_dict() for e in self.events]
 
     def describe(self) -> str:
+        """Render the schedule as a human-readable multi-line listing."""
         lines = [f"{len(self._events)} fault events "
                  f"(detection lag {self.detection_ns / 1e3:.0f} us):"]
         for e in self.events:

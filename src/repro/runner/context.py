@@ -1,0 +1,147 @@
+"""Process-wide execution context and the ``run_points`` front door.
+
+The figure harnesses all funnel their simulations through
+:func:`run_points`.  By default it behaves exactly like the historical
+serial loop (jobs=1, no disk cache, per-process memoization); entry
+points that want parallelism or caching — ``run_all --jobs 8``,
+``repro sweep``, ``repro experiment --jobs`` — call :func:`configure`
+once and every harness downstream inherits the setting without
+signature changes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.runner.cache import ResultCache
+from repro.runner.parallel import ParallelRunner, ProgressFn
+from repro.runner.point import SweepPoint
+from repro.systems.cluster import RunResult
+
+_UNSET = object()
+
+
+@dataclass
+class ExecutionContext:
+    """How sweep points are executed process-wide.
+
+    Attributes:
+        jobs: Worker process count for :func:`run_points` (1 = serial).
+        cache: Shared on-disk result cache, or None to disable.
+    """
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+
+
+_context = ExecutionContext()
+
+#: Per-process result memo keyed by point content key.  This preserves
+#: the historical behaviour where figures sharing a matrix (14/16/17)
+#: simulate each cell once per process even with the disk cache off.
+_memo: Dict[str, RunResult] = {}
+
+
+def execution() -> ExecutionContext:
+    """Return the active process-wide execution context."""
+    return _context
+
+
+def configure(jobs: Optional[int] = None, cache=_UNSET) -> ExecutionContext:
+    """Update the process-wide execution context.
+
+    Args:
+        jobs: New worker count, or None to leave unchanged.
+        cache: New :class:`ResultCache` (or None to disable caching);
+            omit to leave unchanged.
+
+    Returns:
+        The updated context.
+    """
+    if jobs is not None:
+        _context.jobs = max(1, int(jobs))
+    if cache is not _UNSET:
+        _context.cache = cache
+    return _context
+
+
+@contextmanager
+def executing(jobs: Optional[int] = None, cache=_UNSET):
+    """Temporarily override the execution context (tests, one-off runs).
+
+    Args:
+        jobs: Worker count for the scope, or None to keep the current.
+        cache: Cache for the scope; omit to keep the current.
+
+    Yields:
+        The active :class:`ExecutionContext` inside the scope.
+    """
+    saved = (_context.jobs, _context.cache)
+    try:
+        yield configure(jobs=jobs, cache=cache)
+    finally:
+        _context.jobs, _context.cache = saved
+
+
+def clear_memo() -> None:
+    """Drop the per-process result memo (tests and long sessions)."""
+    _memo.clear()
+
+
+def run_points(points: Sequence[SweepPoint],
+               jobs: Optional[int] = None,
+               cache=_UNSET,
+               progress: Optional[ProgressFn] = None,
+               memo: bool = True) -> List[RunResult]:
+    """Execute sweep points under the active (or overridden) context.
+
+    Args:
+        points: Independent simulation points, in result order.
+        jobs: Override the context's worker count for this call.
+        cache: Override the context's cache for this call (None
+            disables); omit to inherit.
+        progress: Optional per-completion callback (see
+            :class:`~repro.runner.parallel.ParallelRunner`).
+        memo: Serve and populate the per-process memo (disable to force
+            re-execution, e.g. in cache tests).
+
+    Returns:
+        One :class:`RunResult` per point, positionally aligned with
+        ``points`` regardless of jobs, cache state or completion order.
+    """
+    points = list(points)
+    ctx = execution()
+    use_jobs = ctx.jobs if jobs is None else max(1, int(jobs))
+    use_cache = ctx.cache if cache is _UNSET else cache
+
+    keys = [p.key() for p in points]
+    results: List[Optional[RunResult]] = [None] * len(points)
+    pending, pending_keys = [], []
+    for i, (point, key) in enumerate(zip(points, keys)):
+        if memo and key in _memo:
+            results[i] = _memo[key]
+            if progress is not None:
+                progress({"index": i, "total": len(points),
+                          "label": point.label, "source": "memo",
+                          "worker": "-", "seconds": 0.0})
+        else:
+            pending.append(point)
+            pending_keys.append((i, key))
+
+    if pending:
+        _wrapped = None
+        if progress is not None:
+            index_map = [i for i, __ in pending_keys]
+
+            def _wrapped(ev, _map=index_map, _total=len(points)):
+                progress({**ev, "index": _map[ev["index"]], "total": _total})
+
+        runner = ParallelRunner(jobs=use_jobs, cache=use_cache,
+                                progress=_wrapped)
+        for (i, key), result in zip(pending_keys, runner.run(pending)):
+            results[i] = result
+            if memo:
+                _memo[key] = result
+    return results  # type: ignore[return-value]

@@ -1,0 +1,89 @@
+"""Content-addressed keys for simulation points.
+
+A sweep point is a pure function of its inputs — system config, app
+spec, load, scale knobs, seed, arrival process, fault schedule and
+resilience policy — plus the simulator code itself.  This module turns
+each of those into a canonical JSON document and hashes it, so two
+points collide exactly when they would produce byte-identical
+:class:`~repro.systems.cluster.RunResult` values.
+
+The code version folds the source text of every module in the ``repro``
+package into the key: editing the simulator silently invalidates every
+cached result, which is what makes an on-disk cache safe to keep
+between working sessions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of the ``repro`` package's source text.
+
+    Returns:
+        A 16-hex-digit digest over the contents of every ``*.py`` file
+        under the installed ``repro`` package, in sorted relative-path
+        order.  Memoized per process (the sources are read once).
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def fingerprint(obj: Any) -> Any:
+    """Reduce a config object to a canonical JSON-serializable form.
+
+    Args:
+        obj: A (possibly nested) dataclass instance — ``SystemConfig``,
+            ``AppSpec``, ``ResilienceConfig`` — a ``FaultSchedule``, or
+            any plain JSON-serializable value.
+
+    Returns:
+        Plain dicts/lists/scalars with deterministic content; dict keys
+        are sorted at serialization time by :func:`canonical_json`.
+    """
+    # FaultSchedule is duck-typed to avoid importing repro.faults here.
+    if hasattr(obj, "as_dicts") and hasattr(obj, "detection_ns"):
+        return {"detection_ns": obj.detection_ns, "events": obj.as_dicts()}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: fingerprint(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): fingerprint(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [fingerprint(v) for v in obj]
+    return obj
+
+
+def canonical_json(doc: Any) -> str:
+    """Serialize a fingerprint deterministically (sorted keys, no spaces)."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def digest(doc: Any) -> str:
+    """SHA-256 hex digest of a fingerprint document.
+
+    Args:
+        doc: Output of :func:`fingerprint` (or any JSON-serializable
+            value).
+
+    Returns:
+        64-char hex string; equal documents always hash equal.
+    """
+    return hashlib.sha256(canonical_json(doc).encode()).hexdigest()

@@ -1,0 +1,134 @@
+"""Sweep descriptions: one simulation point and grids of them.
+
+A :class:`SweepPoint` is the unit of work of the execution layer: one
+independent cluster simulation, fully described by value (everything it
+carries pickles cleanly into a spawn-started worker).  A
+:class:`SweepSpec` expands a (systems x apps x loads x seeds) grid into
+an ordered point list; the order is part of the contract — result
+tables built from a spec are identical however the points are executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.runner.fingerprint import code_version, digest, fingerprint
+from repro.systems.configs import SystemConfig
+from repro.workloads.spec import AppSpec
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent cluster simulation, described by value.
+
+    Mirrors the signature of :func:`repro.systems.cluster.simulate`
+    minus the in-process observers (tracer, metrics) — points must stay
+    cacheable and process-portable, and observers are neither.
+    """
+
+    config: SystemConfig
+    app: AppSpec
+    rps: float
+    n_servers: int = 2
+    duration_s: float = 0.03
+    seed: int = 1
+    warmup_fraction: float = 0.25
+    arrivals: str = "poisson"
+    faults: Optional[object] = None         # FaultSchedule or None
+    resilience: Optional[object] = None     # ResilienceConfig or None
+
+    @property
+    def label(self) -> str:
+        """Human-readable point name for progress lines and logs."""
+        return (f"{self.config.name}/{self.app.name}"
+                f"@{self.rps:g} seed{self.seed}")
+
+    def key(self) -> str:
+        """Content-addressed cache key of this point.
+
+        Returns:
+            SHA-256 hex digest over the canonical fingerprint of every
+            input plus :func:`~repro.runner.fingerprint.code_version`,
+            so editing any simulator source invalidates the key.
+        """
+        return digest({
+            "code": code_version(),
+            "config": fingerprint(self.config),
+            "app": fingerprint(self.app),
+            "rps": self.rps,
+            "n_servers": self.n_servers,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "warmup_fraction": self.warmup_fraction,
+            "arrivals": self.arrivals,
+            "faults": fingerprint(self.faults),
+            "resilience": fingerprint(self.resilience),
+        })
+
+    def run(self):
+        """Execute the simulation for this point.
+
+        Returns:
+            The :class:`~repro.systems.cluster.RunResult` of one
+            untraced :func:`~repro.systems.cluster.simulate` call.
+        """
+        from repro.systems.cluster import simulate
+
+        return simulate(self.config, self.app, rps_per_server=self.rps,
+                        n_servers=self.n_servers,
+                        duration_s=self.duration_s, seed=self.seed,
+                        warmup_fraction=self.warmup_fraction,
+                        arrivals=self.arrivals, faults=self.faults,
+                        resilience=self.resilience)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of independent simulation points.
+
+    The expansion order is load-major — ``for seed: for rps: for app:
+    for config:`` — matching the classic
+    :func:`repro.experiments.common.run_matrix` loop, so tables built
+    by zipping :meth:`points` against results reproduce the serial
+    harness byte-for-byte.
+    """
+
+    configs: Tuple[SystemConfig, ...]
+    apps: Tuple[AppSpec, ...]
+    loads: Tuple[float, ...]
+    seeds: Tuple[int, ...] = (1,)
+    n_servers: int = 2
+    duration_s: float = 0.03
+    warmup_fraction: float = 0.25
+    arrivals: str = "poisson"
+
+    def __post_init__(self):
+        """Reject grids with an empty axis."""
+        if not (self.configs and self.apps and self.loads and self.seeds):
+            raise ValueError("SweepSpec needs at least one config, app, "
+                             "load and seed")
+
+    def __len__(self) -> int:
+        """Number of grid cells."""
+        return (len(self.configs) * len(self.apps) * len(self.loads)
+                * len(self.seeds))
+
+    def points(self) -> List[SweepPoint]:
+        """Expand the grid.
+
+        Returns:
+            The points in deterministic seed/load/app/config-major
+            order (one entry per grid cell).
+        """
+        return [
+            SweepPoint(config=config, app=app, rps=float(rps),
+                       n_servers=self.n_servers,
+                       duration_s=self.duration_s, seed=seed,
+                       warmup_fraction=self.warmup_fraction,
+                       arrivals=self.arrivals)
+            for seed in self.seeds
+            for rps in self.loads
+            for app in self.apps
+            for config in self.configs
+        ]

@@ -74,6 +74,7 @@ def write_chrome_trace(tracer, path: str) -> int:
 
 
 def spans_as_dicts(tracer) -> List[Dict[str, Any]]:
+    """Every recorded span as a JSON-serializable dict, in record order."""
     return [span.as_dict() for span in tracer.spans]
 
 

@@ -22,10 +22,12 @@ class Counter:
     __slots__ = ("name", "value")
 
     def __init__(self, name: str):
+        """Name the counter; the value starts at 0."""
         self.name = name
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (>= 0) to the counter."""
         if amount < 0:
             raise ValueError(f"counter {self.name}: negative increment")
         self.value += amount
@@ -37,10 +39,12 @@ class Gauge:
     __slots__ = ("name", "fn")
 
     def __init__(self, name: str, fn: Callable[[], float]):
+        """Bind the gauge name to its reader callable."""
         self.name = name
         self.fn = fn
 
     def read(self) -> float:
+        """Evaluate the gauge's callable now."""
         return float(self.fn())
 
 
@@ -50,10 +54,12 @@ class Histogram:
     __slots__ = ("name", "_values")
 
     def __init__(self, name: str):
+        """Name the histogram; no observations yet."""
         self.name = name
         self._values: List[float] = []
 
     def observe(self, value: float) -> None:
+        """Record one observation."""
         self._values.append(float(value))
 
     def __len__(self) -> int:
@@ -61,14 +67,18 @@ class Histogram:
 
     @property
     def values(self) -> List[float]:
+        """A copy of every recorded observation, in arrival order."""
         return list(self._values)
 
     def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of the observations."""
         if not self._values:
             raise ValueError(f"histogram {self.name}: no observations")
         return float(np.percentile(self._values, q))
 
     def summary(self) -> Dict[str, float]:
+        """count/mean/p50/p99/max of the observations ({'count': 0} when
+        empty)."""
         if not self._values:
             return {"count": 0}
         arr = np.asarray(self._values)
@@ -86,6 +96,7 @@ class MetricsRegistry:
     sampled time series of every gauge."""
 
     def __init__(self) -> None:
+        """Create an empty registry."""
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -96,12 +107,14 @@ class MetricsRegistry:
     # ------------------------------------------------------- instruments
 
     def counter(self, name: str) -> Counter:
+        """Create-or-get the counter called ``name``."""
         c = self._counters.get(name)
         if c is None:
             c = self._counters[name] = Counter(name)
         return c
 
     def gauge(self, name: str, fn: Callable[[], float]) -> Gauge:
+        """Register gauge ``name`` backed by callable ``fn`` (once)."""
         if name in self._gauges:
             raise ValueError(f"gauge {name!r} already registered")
         g = self._gauges[name] = Gauge(name, fn)
@@ -109,6 +122,7 @@ class MetricsRegistry:
         return g
 
     def histogram(self, name: str) -> Histogram:
+        """Create-or-get the histogram called ``name``."""
         h = self._histograms.get(name)
         if h is None:
             h = self._histograms[name] = Histogram(name)
@@ -116,6 +130,7 @@ class MetricsRegistry:
 
     @property
     def gauges(self) -> Sequence[str]:
+        """Registered gauge names, in registration order."""
         return list(self._gauges)
 
     # ---------------------------------------------------------- sampling
@@ -154,6 +169,7 @@ class MetricsRegistry:
                 "max": float(vals.max())}
 
     def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dump of every instrument and series stat."""
         return {
             "counters": {n: c.value for n, c in sorted(self._counters.items())},
             "gauges": {n: self.series_stats(n) for n in sorted(self._gauges)},

@@ -77,9 +77,12 @@ class Span:
 
     @property
     def duration_ns(self) -> float:
+        """Length of the interval (``end_ns - start_ns``)."""
         return self.end_ns - self.start_ns
 
     def as_dict(self) -> Dict[str, Any]:
+        """The span as a JSON-serializable dict (``attrs`` only when
+        non-empty)."""
         d = {
             "span_id": self.span_id,
             "parent_id": self.parent_id,

@@ -56,6 +56,7 @@ class _RequestInfo:
     def __init__(self, index: int, root_index: int, span_id: int,
                  parent_span_id: Optional[int], service: str,
                  start_ns: float):
+        """Record the identifiers of one traced request."""
         self.index = index
         self.root_index = root_index
         self.span_id = span_id
@@ -72,6 +73,7 @@ class Tracer(NullTracer):
     enabled = True
 
     def __init__(self) -> None:
+        """Start an empty trace."""
         self.spans: List[Span] = []
         self.requests: List[_RequestInfo] = []
         self._by_req_id: Dict[int, _RequestInfo] = {}
@@ -85,6 +87,7 @@ class Tracer(NullTracer):
         return sid
 
     def begin_request(self, rec, now: float, parent=None) -> None:
+        """Assign the request a trace-local index and open its span."""
         parent_info = self._by_req_id.get(parent.req_id) \
             if parent is not None else None
         info = _RequestInfo(
@@ -99,6 +102,7 @@ class Tracer(NullTracer):
         self._by_req_id[rec.req_id] = info
 
     def end_request(self, rec, now: float, rejected: bool = False) -> None:
+        """Close the request's root span (idempotent per request)."""
         info = self._by_req_id.get(rec.req_id)
         if info is None or info.end_ns is not None:
             return
@@ -115,6 +119,7 @@ class Tracer(NullTracer):
 
     def span(self, category: str, name: str, start_ns: float, end_ns: float,
              rec=None, track: str = "", **attrs: Any) -> None:
+        """Record one completed interval, linked to ``rec`` when given."""
         info = self._by_req_id.get(rec.req_id) if rec is not None else None
         self.spans.append(Span(
             span_id=self._new_span_id(), name=name, category=category,
@@ -128,6 +133,7 @@ class Tracer(NullTracer):
         return len(self.spans)
 
     def root_of(self, req_index: int) -> int:
+        """The root request's index for any (possibly nested) request."""
         return self.requests[req_index].root_index
 
     def request_spans(self) -> List[Span]:

@@ -82,3 +82,36 @@ def test_experiment_command_power(capsys):
 def test_systems_table_complete():
     assert set(SYSTEMS) == {"umanycore", "scaleout", "serverclass",
                             "serverclass128"}
+
+
+def test_parser_sweep_defaults():
+    args = build_parser().parse_args(["sweep"])
+    assert args.systems == "umanycore,scaleout,serverclass"
+    assert args.jobs == 1 and not args.no_cache and not args.json
+
+
+def test_sweep_command_table(capsys):
+    main(["sweep", "--systems", "umanycore,scaleout", "--apps", "UrlShort",
+          "--loads", "2000", "--servers", "1", "--duration", "0.004",
+          "--no-cache"])
+    captured = capsys.readouterr()
+    assert "uManycore" in captured.out and "ScaleOut" in captured.out
+    assert "p99 us" in captured.out
+    # Progress goes to stderr; stdout stays a clean table.
+    assert "[1/2]" in captured.err and "[2/2]" in captured.err
+    assert "cache:" not in captured.err
+
+
+def test_sweep_command_caches_between_invocations(tmp_path, monkeypatch,
+                                                  capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    argv = ["sweep", "--systems", "umanycore", "--apps", "UrlShort",
+            "--loads", "2000", "--seeds", "5", "--servers", "1",
+            "--duration", "0.004", "--json"]
+    main(argv)
+    cold = capsys.readouterr()
+    assert "1 misses" in cold.err
+    main(argv)
+    warm = capsys.readouterr()
+    assert "(cache)" in warm.err and "1 hits" in warm.err
+    assert json.loads(warm.out) == json.loads(cold.out)

@@ -1,0 +1,185 @@
+"""Tests for the parallel cached sweep runner (repro.runner)."""
+
+import json
+
+import pytest
+
+from repro.runner import (ParallelRunner, ResultCache, SweepPoint, SweepSpec,
+                          clear_memo, executing, result_from_dict,
+                          result_to_dict, run_points)
+from repro.systems import SCALEOUT, UMANYCORE, simulate
+from repro.telemetry import Tracer
+from repro.workloads import SOCIAL_NETWORK_APPS
+
+APP = SOCIAL_NETWORK_APPS["UrlShort"]
+
+
+def point(config=UMANYCORE, rps=2000.0, seed=3, **kw):
+    kw.setdefault("n_servers", 1)
+    kw.setdefault("duration_s", 0.004)
+    return SweepPoint(config=config, app=APP, rps=rps, seed=seed, **kw)
+
+
+# ------------------------------------------------------------- SweepSpec
+
+def test_spec_expansion_order_is_seed_load_app_config_major():
+    spec = SweepSpec(configs=(UMANYCORE, SCALEOUT), apps=(APP,),
+                     loads=(1000.0, 2000.0), seeds=(1, 2))
+    labels = [p.label for p in spec.points()]
+    assert len(spec) == len(labels) == 8
+    assert labels[:4] == ["uManycore/UrlShort@1000 seed1",
+                          "ScaleOut/UrlShort@1000 seed1",
+                          "uManycore/UrlShort@2000 seed1",
+                          "ScaleOut/UrlShort@2000 seed1"]
+    assert all(lbl.endswith("seed2") for lbl in labels[4:])
+
+
+def test_spec_rejects_empty_axes():
+    with pytest.raises(ValueError):
+        SweepSpec(configs=(), apps=(APP,), loads=(1000.0,))
+
+
+# ------------------------------------------------------------- cache key
+
+def test_key_is_stable_and_input_sensitive():
+    assert point().key() == point().key()
+    base = point().key()
+    assert point(config=SCALEOUT).key() != base
+    assert point(rps=2001.0).key() != base
+    assert point(seed=4).key() != base
+
+
+# ----------------------------------------------------------- round-trip
+
+def run_direct(p):
+    return simulate(p.config, p.app, rps_per_server=p.rps,
+                    n_servers=p.n_servers, duration_s=p.duration_s,
+                    seed=p.seed, warmup_fraction=p.warmup_fraction,
+                    arrivals=p.arrivals)
+
+
+def test_cache_roundtrip_preserves_every_field(tmp_path):
+    p = point()
+    result = p.run()
+    restored = result_from_dict(result_to_dict(result))
+    assert restored.as_dict() == result.as_dict()
+
+    cache = ResultCache(tmp_path)
+    assert cache.get(p.key()) is None and cache.misses == 1
+    assert cache.put(p.key(), result)
+    assert len(cache) == 1
+    again = cache.get(p.key())
+    assert cache.hits == 1
+    assert again.as_dict() == result.as_dict()
+
+
+def test_traced_results_are_not_cacheable(tmp_path):
+    p = point()
+    traced = simulate(p.config, p.app, rps_per_server=p.rps, n_servers=1,
+                      duration_s=p.duration_s, seed=p.seed, tracer=Tracer())
+    with pytest.raises(ValueError):
+        result_to_dict(traced)
+    cache = ResultCache(tmp_path)
+    assert cache.put(p.key(), traced) is False
+    assert len(cache) == 0
+
+
+def test_cache_misses_on_config_change(tmp_path):
+    cache = ResultCache(tmp_path)
+    p = point()
+    cache.put(p.key(), p.run())
+    assert cache.get(point(config=SCALEOUT).key()) is None
+    assert cache.get(point(seed=99).key()) is None
+    assert cache.misses == 2 and cache.evicted == 0
+
+
+def test_corrupted_entry_is_evicted_and_recomputed(tmp_path):
+    cache = ResultCache(tmp_path)
+    p = point()
+    result = p.run()
+    cache.put(p.key(), result)
+
+    entry = cache._path(p.key())
+    entry.write_text("{not json")
+    assert cache.get(p.key()) is None
+    assert cache.evicted == 1 and not entry.exists()
+
+    # A healed cache accepts the recomputed entry again.
+    cache.put(p.key(), result)
+    assert cache.get(p.key()).as_dict() == result.as_dict()
+
+
+def test_incompatible_schema_is_evicted(tmp_path):
+    cache = ResultCache(tmp_path)
+    p = point()
+    cache.put(p.key(), p.run())
+    entry = cache._path(p.key())
+    doc = json.loads(entry.read_text())
+    doc["schema"] = 999
+    entry.write_text(json.dumps(doc))
+    assert cache.get(p.key()) is None
+    assert cache.evicted == 1
+
+
+# ------------------------------------------------- execution equivalence
+
+def test_serial_equals_parallel_equals_cached(tmp_path):
+    points = [point(rps=r) for r in (1500.0, 2500.0, 3500.0)]
+    serial = [run_direct(p) for p in points]
+
+    cache = ResultCache(tmp_path)
+    events = []
+    runner = ParallelRunner(jobs=2, cache=cache, progress=events.append)
+    cold = runner.run(points)
+    assert [r.as_dict() for r in cold] == [r.as_dict() for r in serial]
+    assert cache.misses == len(points)
+    # Progress arrives in completion order; every point reports once.
+    assert sorted(e["index"] for e in events) == [0, 1, 2]
+    assert all(e["source"] == "run" and e["total"] == 3 for e in events)
+
+    warm = ParallelRunner(jobs=2, cache=cache).run(points)
+    assert cache.hits == len(points)
+    assert [r.as_dict() for r in warm] == [r.as_dict() for r in serial]
+
+
+def test_resume_runs_only_the_missing_points(tmp_path):
+    points = [point(rps=1500.0), point(rps=2500.0)]
+    cache = ResultCache(tmp_path)
+    # Simulate an interrupted sweep: only the first point was stored.
+    cache.put(points[0].key(), points[0].run())
+
+    events = []
+    results = ParallelRunner(jobs=1, cache=cache,
+                             progress=events.append).run(points)
+    assert cache.hits == 1 and cache.misses == 1
+    sources = {e["index"]: e["source"] for e in events}
+    assert sources == {0: "cache", 1: "run"}
+    assert [r.as_dict() for r in results] == \
+        [run_direct(p).as_dict() for p in points]
+
+
+# ------------------------------------------------------ execution context
+
+def test_run_points_memoizes_repeats_within_a_batch():
+    clear_memo()
+    p = point(rps=1800.0)
+    a, b = run_points([p, p])
+    assert a.as_dict() == b.as_dict()
+
+    events = []
+    (c,) = run_points([p], progress=events.append)
+    assert events[0]["source"] == "memo"
+    assert c.as_dict() == a.as_dict()
+    clear_memo()
+
+
+def test_executing_context_routes_runs_through_the_cache(tmp_path):
+    clear_memo()
+    p = point(rps=2200.0)
+    cache = ResultCache(tmp_path)
+    with executing(jobs=1, cache=cache):
+        (first,) = run_points([p], memo=False)
+        (second,) = run_points([p], memo=False)
+    assert cache.misses == 1 and cache.hits == 1
+    assert first.as_dict() == second.as_dict()
+    assert first.as_dict() == run_direct(p).as_dict()
