@@ -1,0 +1,34 @@
+"""repro.check: opt-in invariant sanitizer for the whole simulation stack.
+
+The hook API mirrors the telemetry tracer's zero-overhead pattern: every
+engine carries a :data:`NULL_CHECK` whose hooks are no-ops, and
+instrumentation sites guard with ``if check.enabled:`` so disabled
+checking costs one attribute load + branch.  A live
+:class:`CheckContext` validates per-event invariants (clock
+monotonicity, RQ structure, resource bounds) and balances conservation
+ledgers at drain (requests, ICN messages, resource leaks, span trees).
+
+Entry points: pass ``check=CheckContext()`` to
+:class:`repro.systems.cluster.ClusterSimulation` / ``simulate``, use the
+``--check`` CLI flags, or run the randomized harness via
+``repro validate`` (:mod:`repro.check.harness` — imported lazily here
+because it reaches back into the cluster layer).
+"""
+
+from repro.check.context import (
+    NULL_CHECK,
+    CheckContext,
+    CheckError,
+    NullCheckContext,
+    Violation,
+)
+from repro.check.spans import check_span_tree
+
+__all__ = [
+    "NULL_CHECK",
+    "CheckContext",
+    "CheckError",
+    "NullCheckContext",
+    "Violation",
+    "check_span_tree",
+]

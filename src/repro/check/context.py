@@ -1,0 +1,680 @@
+"""The invariant sanitizer: a race/leak-sanitizer analogue for the sim.
+
+Two implementations share one interface, mirroring the telemetry
+tracer's zero-overhead pattern:
+
+* :class:`NullCheckContext` — the default on every
+  :class:`~repro.sim.engine.Engine`.  Every hook is a no-op and
+  ``enabled`` is False, so instrumentation sites guard with
+  ``if check.enabled:`` and pay one attribute load + branch when
+  checking is off.
+* :class:`CheckContext` — the live sanitizer.  Hooks validate local
+  invariants as events happen (clock monotonicity, RQ structure,
+  resource occupancy bounds) and feed conservation ledgers that
+  :meth:`CheckContext.finalize` balances at drain time (request
+  conservation per service and per queue, resource leaks, ICN message
+  conservation, span-tree well-formedness).
+
+The sanitizer never mutates simulation state and draws no random
+numbers, so a checked run is byte-identical to an unchecked one —
+``tests/test_check.py`` pins that contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+class CheckError(AssertionError):
+    """Raised when a strict :class:`CheckContext` found violations."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation, stamped with where/when it was seen."""
+
+    category: str          # e.g. "rq-structure", "conservation", "clock"
+    message: str
+    where: str = ""        # component name (queue, resource, ...)
+    time_ns: Optional[float] = None
+
+    def __str__(self) -> str:
+        at = f" @ {self.time_ns:.0f}ns" if self.time_ns is not None else ""
+        site = f" [{self.where}]" if self.where else ""
+        return f"{self.category}{site}{at}: {self.message}"
+
+
+class NullCheckContext:
+    """Disabled sanitizer: every hook is a no-op.
+
+    Also serves as the interface definition — :class:`CheckContext`
+    overrides every method.
+    """
+
+    enabled: bool = False
+
+    # --- engine
+    def clock_advance(self, old_ns: float, new_ns: float) -> None:
+        """The engine clock is about to move from ``old_ns`` to ``new_ns``."""
+
+    # --- request queue
+    def rq_admit(self, rq, rec, soft: bool = False) -> None:
+        """An entry was admitted (slot or NIC-buffered soft entry)."""
+
+    def rq_dequeue(self, rq, rec) -> None:
+        """A READY entry was atomically dequeued for execution."""
+
+    def rq_wakeup(self, rq, rec) -> None:
+        """A blocked entry went back to READY."""
+
+    def rq_complete(self, rq, rec, stale: bool = False) -> None:
+        """An entry finished (``stale`` = it predates the last purge)."""
+
+    def rq_purge(self, rq) -> None:
+        """The queue is about to be wiped (village failure)."""
+
+    # --- NICs / ServiceMap
+    def nic_dispatch(self, nic, service: str, village: int) -> None:
+        """The ServiceMap picked ``village`` for ``service``."""
+
+    def nic_reject(self, nic) -> None:
+        """The top-level NIC overflow buffer rejected a request."""
+
+    def nic_drop(self, nic) -> None:
+        """A failed village NIC blackholed a message."""
+
+    # --- on-package network
+    def icn_send(self, net) -> None:
+        """A routed message entered the ICN (multi-hop sends only)."""
+
+    def icn_deliver(self, net) -> None:
+        """A routed message reached its destination."""
+
+    def icn_drop(self, net, in_flight: bool) -> None:
+        """A message blackholed (``in_flight`` = after entering the ICN)."""
+
+    # --- resources
+    def resource_register(self, res) -> None:
+        """A FIFO resource was created (for drain-time leak checks)."""
+
+    def resource_event(self, res) -> None:
+        """A resource started or finished a job."""
+
+    # --- RPC / requests
+    def message_created(self, msg) -> None:
+        """An RPC :class:`~repro.net.rpc.Message` was allocated."""
+
+    def request_created(self, rec) -> None:
+        """A request record (root or child RPC) was created."""
+
+    def ext_rejected(self, rec) -> None:
+        """An external request was rejected (error response sent)."""
+
+    # --- cluster roots
+    def root_offered(self) -> None:
+        """One client arrival was scheduled."""
+
+    def root_done(self, kind: str) -> None:
+        """A root request was answered (completed/rejected/failed)."""
+
+    # --- faults / compute
+    def fault_applied(self, event, now_ns: float) -> None:
+        """The injector applied a fault event."""
+
+    def compute_segment(self, village, rec, duration_ns: float) -> None:
+        """A compute segment was scheduled for ``duration_ns``."""
+
+    # --- lifecycle
+    def finalize(self, sim=None, drained: bool = True) -> List[Violation]:
+        """Run the drain-time balance checks; returns violations."""
+        return []
+
+
+#: Shared default instance; safe because NullCheckContext is stateless.
+NULL_CHECK = NullCheckContext()
+
+
+@dataclass
+class _RqLedger:
+    """Per-queue conservation counters (one per RequestQueue seen)."""
+
+    rq: object
+    admits: int = 0
+    soft_admits: int = 0
+    completes: int = 0
+    stale_completes: int = 0
+    purged: int = 0
+    ops: int = 0
+
+
+@dataclass
+class _NetLedger:
+    """Per-network ICN message conservation counters."""
+
+    net: object
+    sends: int = 0
+    delivers: int = 0
+    inflight_drops: int = 0
+    noroute_drops: int = 0
+
+
+@dataclass
+class _ServiceLedger:
+    """Per-service request conservation counters."""
+
+    created: int = 0
+    admits: int = 0
+    completes: int = 0
+    rejected: int = 0
+
+
+@dataclass
+class CheckStats:
+    """How much checking happened (for ``repro validate`` reporting)."""
+
+    checks: int = 0
+    structural_scans: int = 0
+
+    def as_dict(self) -> dict:
+        return {"checks": self.checks,
+                "structural_scans": self.structural_scans}
+
+
+class CheckContext(NullCheckContext):
+    """The live sanitizer for one simulation run.
+
+    Args:
+        strict: When True (default) :meth:`raise_if_violations` is
+            expected to be called by the harness at drain — the
+            cluster does this automatically.
+        fail_fast: Raise :class:`CheckError` at the *first* violation
+            instead of collecting (handy when debugging under pdb).
+        sample_every: Run the O(occupancy) structural RQ scan every
+            N-th queue operation per queue (cheap O(1) bounds checks
+            run on every operation regardless).
+    """
+
+    enabled = True
+
+    def __init__(self, strict: bool = True, fail_fast: bool = False,
+                 sample_every: int = 256):
+        self.strict = strict
+        self.fail_fast = fail_fast
+        self.sample_every = max(1, int(sample_every))
+        self.violations: List[Violation] = []
+        self.stats = CheckStats()
+        self._last_now: float = float("-inf")
+        self._rqs: Dict[int, _RqLedger] = {}
+        self._nets: Dict[int, _NetLedger] = {}
+        self._resources: List[object] = []
+        self._services: Dict[str, _ServiceLedger] = {}
+        self._roots_offered = 0
+        self._roots_done: Dict[str, int] = {}
+        self._faults_applied = 0
+        self._msg_count = 0
+        self._last_msg_id = -1
+        self._nic_rejects = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------ reporting
+
+    def violation(self, category: str, message: str, where: str = "",
+                  time_ns: Optional[float] = None) -> None:
+        """Record one violation (raises immediately under ``fail_fast``)."""
+        v = Violation(category, message, where, time_ns)
+        self.violations.append(v)
+        if self.fail_fast:
+            raise CheckError(str(v))
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_violations(self) -> None:
+        """Raise :class:`CheckError` listing every recorded violation."""
+        if self.violations:
+            lines = "\n".join(f"  - {v}" for v in self.violations)
+            raise CheckError(
+                f"{len(self.violations)} invariant violation(s) "
+                f"after {self.stats.checks} checks:\n{lines}")
+
+    def report(self) -> str:
+        """One-line human summary of the run's checking."""
+        if self.violations:
+            return (f"FAIL: {len(self.violations)} violation(s) in "
+                    f"{self.stats.checks} checks")
+        return (f"ok: {self.stats.checks} checks, "
+                f"{self.stats.structural_scans} structural scans, "
+                f"0 violations")
+
+    # --------------------------------------------------------------- engine
+
+    def clock_advance(self, old_ns: float, new_ns: float) -> None:
+        self.stats.checks += 1
+        if new_ns < old_ns:
+            self.violation(
+                "clock", f"engine clock moved backwards: {old_ns} -> "
+                f"{new_ns}", where="engine", time_ns=old_ns)
+        self._last_now = max(self._last_now, new_ns)
+
+    # -------------------------------------------------------- request queue
+
+    def _ledger(self, rq) -> _RqLedger:
+        led = self._rqs.get(id(rq))
+        if led is None:
+            led = self._rqs[id(rq)] = _RqLedger(rq)
+        return led
+
+    def _service(self, name: str) -> _ServiceLedger:
+        led = self._services.get(name)
+        if led is None:
+            led = self._services[name] = _ServiceLedger()
+        return led
+
+    def _rq_now(self, rq) -> Optional[float]:
+        clock = getattr(rq, "clock", None)
+        return clock.now if clock is not None else None
+
+    def _rq_cheap(self, rq, led: _RqLedger) -> None:
+        """O(1) bounds checks run on every queue operation."""
+        self.stats.checks += 1
+        if not 0 <= rq.occupancy <= rq.capacity:
+            self.violation(
+                "rq-structure",
+                f"occupancy {rq.occupancy} outside [0, {rq.capacity}]",
+                where=rq.name, time_ns=self._rq_now(rq))
+        if rq.soft_entries < 0:
+            self.violation(
+                "rq-structure", f"soft_entries negative "
+                f"({rq.soft_entries})", where=rq.name,
+                time_ns=self._rq_now(rq))
+        led.ops += 1
+        if led.ops % self.sample_every == 0:
+            self._rq_structural(rq, full=rq.capacity <= 4096)
+
+    def _rq_structural(self, rq, full: bool = True) -> None:
+        """O(occupancy + heap) structural scan of one queue.
+
+        ``full`` additionally walks the whole slot array (entries
+        outside the live window must be None) — skipped on every
+        sampled scan for DRAM-sized software queues.
+        """
+        from repro.core.request import RequestStatus
+
+        self.stats.structural_scans += 1
+        now = self._rq_now(rq)
+        window = set()
+        live = 0
+        for offset in range(rq._size):
+            idx = (rq._head + offset) % rq.capacity
+            window.add(idx)
+            entry = rq._slots[idx]
+            if entry is None:
+                self.violation(
+                    "rq-structure", f"hole in live window at slot {idx}",
+                    where=rq.name, time_ns=now)
+                continue
+            live += 1
+            if not isinstance(entry.status, RequestStatus):
+                self.violation(
+                    "rq-structure", f"slot {idx} has invalid status "
+                    f"{entry.status!r}", where=rq.name, time_ns=now)
+        if live != rq._size:
+            self.violation(
+                "rq-structure", f"window holds {live} entries but "
+                f"_size is {rq._size}", where=rq.name, time_ns=now)
+        if full:
+            for idx, entry in enumerate(rq._slots):
+                if entry is not None and idx not in window:
+                    self.violation(
+                        "rq-structure",
+                        f"slot {idx} occupied outside the live window "
+                        f"(req {entry.req_id})", where=rq.name, time_ns=now)
+        # Every READY slot entry must be reachable through the ready
+        # heap, and every READY heap entry must point at a live slot
+        # or soft entry of the current epoch (no ghosts).
+        heap_ids = {id(r) for __, __id, r in rq._ready_heap}
+        for offset in range(rq._size):
+            entry = rq._slots[(rq._head + offset) % rq.capacity]
+            if entry is not None and entry.status is RequestStatus.READY \
+                    and id(entry) not in heap_ids:
+                self.violation(
+                    "rq-structure", f"READY entry {entry.req_id} missing "
+                    f"from the ready heap", where=rq.name, time_ns=now)
+        slot_ids = {id(e) for e in rq._slots if e is not None}
+        for __, __id, entry in rq._ready_heap:
+            if entry.status is not RequestStatus.READY:
+                continue          # lazily-invalidated entry, fine
+            if getattr(entry, "_rq_epoch", rq.epoch) != rq.epoch:
+                self.violation(
+                    "rq-structure", f"stale-epoch entry {entry.req_id} "
+                    f"in the ready heap", where=rq.name, time_ns=now)
+            elif not getattr(entry, "_rq_soft", False) \
+                    and id(entry) not in slot_ids:
+                self.violation(
+                    "rq-structure", f"ghost READY heap entry "
+                    f"{entry.req_id} holds no slot", where=rq.name,
+                    time_ns=now)
+
+    def rq_admit(self, rq, rec, soft: bool = False) -> None:
+        led = self._ledger(rq)
+        led.admits += 1
+        if soft:
+            led.soft_admits += 1
+        self._service(rec.service).admits += 1
+        self._rq_cheap(rq, led)
+
+    def rq_dequeue(self, rq, rec) -> None:
+        from repro.core.request import RequestStatus
+
+        led = self._ledger(rq)
+        self.stats.checks += 1
+        if rec.status is not RequestStatus.RUNNING:
+            self.violation(
+                "rq-dispatch", f"dequeued entry {rec.req_id} not RUNNING "
+                f"({rec.status})", where=rq.name, time_ns=self._rq_now(rq))
+        if getattr(rec, "_rq_epoch", rq.epoch) != rq.epoch:
+            self.violation(
+                "rq-dispatch", f"dequeued stale-epoch entry {rec.req_id}",
+                where=rq.name, time_ns=self._rq_now(rq))
+        self._rq_cheap(rq, led)
+
+    def rq_wakeup(self, rq, rec) -> None:
+        self._rq_cheap(rq, self._ledger(rq))
+
+    def rq_complete(self, rq, rec, stale: bool = False) -> None:
+        led = self._ledger(rq)
+        if stale:
+            led.stale_completes += 1
+        else:
+            led.completes += 1
+            self._service(rec.service).completes += 1
+        self._rq_cheap(rq, led)
+
+    def rq_purge(self, rq) -> None:
+        """Called *before* the wipe: count the live entries being lost."""
+        from repro.core.request import RequestStatus
+
+        led = self._ledger(rq)
+        dropped = rq.soft_entries
+        for offset in range(rq._size):
+            entry = rq._slots[(rq._head + offset) % rq.capacity]
+            if entry is not None \
+                    and entry.status is not RequestStatus.FINISHED:
+                dropped += 1
+        led.purged += dropped
+        self._rq_cheap(rq, led)
+
+    # ----------------------------------------------------------------- NICs
+
+    def nic_dispatch(self, nic, service: str, village: int) -> None:
+        self.stats.checks += 1
+        registered = nic._service_map.get(service, [])
+        if village not in registered:
+            self.violation(
+                "servicemap", f"dispatched {service!r} to unregistered "
+                f"village {village}", where=nic.name)
+        if village in nic._down:
+            self.violation(
+                "servicemap", f"dispatched {service!r} to village "
+                f"{village} marked down", where=nic.name)
+
+    def nic_reject(self, nic) -> None:
+        self.stats.checks += 1
+        self._nic_rejects += 1
+        if len(nic._buffer) > nic.buffer_capacity:
+            self.violation(
+                "nic-buffer", f"overflow buffer holds {len(nic._buffer)} "
+                f"> capacity {nic.buffer_capacity}", where=nic.name)
+
+    def nic_drop(self, nic) -> None:
+        self.stats.checks += 1
+        if not nic.failed:
+            self.violation(
+                "nic-drop", "healthy NIC dropped a message",
+                where=nic.name)
+
+    # ------------------------------------------------------------------ ICN
+
+    def _net(self, net) -> _NetLedger:
+        led = self._nets.get(id(net))
+        if led is None:
+            led = self._nets[id(net)] = _NetLedger(net)
+        return led
+
+    def icn_send(self, net) -> None:
+        self.stats.checks += 1
+        self._net(net).sends += 1
+
+    def icn_deliver(self, net) -> None:
+        self.stats.checks += 1
+        self._net(net).delivers += 1
+
+    def icn_drop(self, net, in_flight: bool) -> None:
+        self.stats.checks += 1
+        led = self._net(net)
+        if in_flight:
+            led.inflight_drops += 1
+        else:
+            led.noroute_drops += 1
+
+    # ------------------------------------------------------------ resources
+
+    def resource_register(self, res) -> None:
+        self._resources.append(res)
+
+    def resource_event(self, res) -> None:
+        self.stats.checks += 1
+        if not 0 <= res.busy <= res.capacity:
+            self.violation(
+                "resource", f"busy {res.busy} outside [0, {res.capacity}]",
+                where=res.name, time_ns=res.engine.now)
+
+    # --------------------------------------------------------------- RPC
+
+    def message_created(self, msg) -> None:
+        self.stats.checks += 1
+        self._msg_count += 1
+        if msg.size_bytes <= 0:
+            self.violation("rpc", f"message {msg.msg_id} has non-positive "
+                           f"size {msg.size_bytes}")
+        if msg.msg_id is not None:
+            if msg.msg_id <= self._last_msg_id:
+                self.violation(
+                    "rpc", f"message id {msg.msg_id} not monotonically "
+                    f"increasing (last {self._last_msg_id})")
+            self._last_msg_id = msg.msg_id
+
+    def request_created(self, rec) -> None:
+        self.stats.checks += 1
+        self._service(rec.service).created += 1
+        if rec.depth < 0 or not rec.segments:
+            self.violation(
+                "request", f"request {rec.req_id} malformed "
+                f"(depth={rec.depth}, {len(rec.segments)} segments)")
+
+    def ext_rejected(self, rec) -> None:
+        self.stats.checks += 1
+        self._service(rec.service).rejected += 1
+
+    # ---------------------------------------------------------- root ledger
+
+    def root_offered(self) -> None:
+        self._roots_offered += 1
+
+    def root_done(self, kind: str) -> None:
+        self.stats.checks += 1
+        self._roots_done[kind] = self._roots_done.get(kind, 0) + 1
+
+    # --------------------------------------------------------------- faults
+
+    def fault_applied(self, event, now_ns: float) -> None:
+        self.stats.checks += 1
+        self._faults_applied += 1
+        if now_ns != event.time_ns:
+            self.violation(
+                "faults", f"{event.kind}/{event.action} applied at "
+                f"{now_ns} but scheduled for {event.time_ns}",
+                time_ns=now_ns)
+
+    # -------------------------------------------------------------- compute
+
+    def compute_segment(self, village, rec, duration_ns: float) -> None:
+        self.stats.checks += 1
+        if duration_ns < 0:
+            self.violation(
+                "compute", f"negative segment duration {duration_ns} "
+                f"for request {rec.req_id}", where=village.name,
+                time_ns=village.engine.now)
+
+    # ------------------------------------------------------------- finalize
+
+    def finalize(self, sim=None, drained: bool = True) -> List[Violation]:
+        """Balance every ledger after the engine drained.
+
+        Args:
+            sim: The :class:`~repro.systems.cluster.ClusterSimulation`
+                (enables the cross-layer root/service/span checks); the
+                queue/resource/network ledgers balance without it.
+            drained: False when the run was truncated (``max_events``)
+                — drain-only balance checks are skipped then.
+
+        Returns:
+            The full violation list (also kept on ``self.violations``).
+        """
+        if self._finalized:
+            return self.violations
+        self._finalized = True
+        from repro.core.request import RequestStatus
+
+        purged_anywhere = False
+        for led in self._rqs.values():
+            rq = led.rq
+            self._rq_structural(rq, full=True)
+            purged_anywhere = purged_anywhere or led.purged > 0
+            if not drained:
+                continue
+            live = rq.soft_entries
+            for offset in range(rq._size):
+                entry = rq._slots[(rq._head + offset) % rq.capacity]
+                if entry is not None \
+                        and entry.status is not RequestStatus.FINISHED:
+                    live += 1
+            balance = led.completes + led.purged + live
+            if led.admits != balance:
+                self.violation(
+                    "conservation",
+                    f"request ledger unbalanced: {led.admits} admitted != "
+                    f"{led.completes} completed + {led.purged} purged + "
+                    f"{live} live", where=rq.name)
+
+        if drained:
+            for res in self._resources:
+                self.stats.checks += 1
+                if res.busy != 0:
+                    self.violation(
+                        "resource-leak", f"{res.busy} job(s) never "
+                        f"released at drain", where=res.name)
+                if res.queue_length != 0:
+                    self.violation(
+                        "resource-leak", f"{res.queue_length} job(s) "
+                        f"still queued at drain", where=res.name)
+            for net_led in self._nets.values():
+                self.stats.checks += 1
+                if net_led.sends != net_led.delivers \
+                        + net_led.inflight_drops:
+                    self.violation(
+                        "conservation",
+                        f"ICN messages unbalanced: {net_led.sends} sent "
+                        f"!= {net_led.delivers} delivered + "
+                        f"{net_led.inflight_drops} dropped in flight",
+                        where="icn")
+
+        if sim is not None:
+            self._finalize_sim(sim, drained, purged_anywhere)
+        return self.violations
+
+    def _finalize_sim(self, sim, drained: bool,
+                      purged_anywhere: bool) -> None:
+        """Cross-layer checks that need the assembled cluster."""
+        faulted = getattr(sim, "faults", None) is not None
+        if drained:
+            completed = len(sim.recorder)
+            answered = completed + sim.rejected + sim.failed
+            self.stats.checks += 1
+            if sim.offered != answered:
+                self.violation(
+                    "conservation",
+                    f"root requests unbalanced: {sim.offered} offered != "
+                    f"{completed} completed + {sim.rejected} rejected + "
+                    f"{sim.failed} failed", where="cluster")
+            if self._roots_offered != sim.offered:
+                self.violation(
+                    "conservation",
+                    f"arrival hook count {self._roots_offered} != "
+                    f"cluster offered counter {sim.offered}",
+                    where="cluster")
+            hook_done = sum(self._roots_done.values())
+            if hook_done != answered:
+                self.violation(
+                    "conservation",
+                    f"root completion hooks {hook_done} != cluster "
+                    f"answered counters {answered}", where="cluster")
+            for server in sim.servers:
+                self.stats.checks += 1
+                if server.top_nic.buffered != 0:
+                    self.violation(
+                        "conservation", f"{server.top_nic.buffered} "
+                        f"request(s) stranded in the NIC overflow buffer",
+                        where=server.top_nic.name)
+        injector = getattr(sim, "injector", None)
+        if injector is not None:
+            self.stats.checks += 1
+            if injector.injected != self._faults_applied:
+                self.violation(
+                    "faults", f"injector applied {injector.injected} "
+                    f"events but the checker saw {self._faults_applied}")
+        if drained and not faulted and not purged_anywhere:
+            self._finalize_fault_free(sim)
+        tracer = getattr(sim, "tracer", None)
+        if tracer is not None and getattr(tracer, "enabled", False):
+            from repro.check.spans import check_span_tree
+
+            # Faulted runs legitimately strand blackholed roots open.
+            for v in check_span_tree(tracer,
+                                     require_closed=drained and not faulted,
+                                     strict_nesting=not faulted):
+                self.violation(v.category, v.message, v.where, v.time_ns)
+
+    def _finalize_fault_free(self, sim) -> None:
+        """Stricter balances that only hold without fault injection."""
+        for name, led in sorted(self._services.items()):
+            self.stats.checks += 1
+            if led.created != led.admits + led.rejected:
+                self.violation(
+                    "conservation",
+                    f"service {name!r}: {led.created} created != "
+                    f"{led.admits} admitted + {led.rejected} rejected")
+            if led.admits != led.completes:
+                self.violation(
+                    "conservation",
+                    f"service {name!r}: {led.admits} admitted != "
+                    f"{led.completes} completed at drain")
+        total_completes = sum(led.completes for led in self._rqs.values())
+        village_completed = sum(v.completed for s in sim.servers
+                                for v in s.villages)
+        self.stats.checks += 1
+        if total_completes != village_completed:
+            self.violation(
+                "conservation",
+                f"RQ complete count {total_completes} != village "
+                f"completed counters {village_completed}")
+        for server in sim.servers:
+            for village in server.villages:
+                for core in village.cores:
+                    self.stats.checks += 1
+                    if core.busy:
+                        self.violation(
+                            "core-leak", f"core {core.core_id} still "
+                            f"busy at drain", where=village.name)

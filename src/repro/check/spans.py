@@ -1,0 +1,88 @@
+"""Span-tree well-formedness checks over a telemetry trace.
+
+The tracer (:mod:`repro.telemetry.tracer`) links every nested RPC's
+request span to its parent via ``parent_span_id`` and to its root via
+``root_index``.  A well-formed trace satisfies, per request span:
+
+* the parent link resolves to a request that exists in the trace;
+* the child starts no earlier than its parent (the RPC is issued from
+  inside the parent's lifetime);
+* with strict nesting (fault-free runs) the child also *ends* inside
+  the parent — a response cannot reach the caller after the caller
+  answered.  Hedged/retried RPCs violate this by design (wasted
+  responses land after the winner), so faulted runs relax it;
+* no span of any category has a negative duration.
+
+Used by :meth:`repro.check.context.CheckContext.finalize` and directly
+unit-testable against hand-built tracers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.check.context import Violation
+
+
+def check_span_tree(tracer, require_closed: bool = True,
+                    strict_nesting: bool = True) -> List[Violation]:
+    """Validate one tracer's request tree and span set.
+
+    Args:
+        tracer: A :class:`repro.telemetry.Tracer` (must be enabled).
+        require_closed: Every request span must have ended — true at
+            drain in fault-free runs; faulted runs legitimately strand
+            blackholed requests open.
+        strict_nesting: Children must end inside their parents (off for
+            faulted runs, where late wasted responses outlive parents).
+
+    Returns:
+        The violations found (empty for a well-formed trace).
+    """
+    violations: List[Violation] = []
+    infos = tracer.requests
+    by_span = {info.span_id: info for info in infos}
+    for i, info in enumerate(infos):
+        if not 0 <= info.root_index < len(infos):
+            violations.append(Violation(
+                "span-tree", f"request #{i} has out-of-range root index "
+                f"{info.root_index}", where="telemetry"))
+        if info.end_ns is None:
+            if require_closed:
+                violations.append(Violation(
+                    "span-tree", f"request #{i} ({info.service}) never "
+                    f"closed", where="telemetry", time_ns=info.start_ns))
+            continue
+        if info.end_ns < info.start_ns:
+            violations.append(Violation(
+                "span-tree", f"request #{i} ({info.service}) has negative "
+                f"duration ({info.start_ns} -> {info.end_ns})",
+                where="telemetry", time_ns=info.start_ns))
+        if info.parent_span_id is None:
+            continue
+        parent = by_span.get(info.parent_span_id)
+        if parent is None:
+            violations.append(Violation(
+                "span-tree", f"request #{i} ({info.service}) links to "
+                f"unknown parent span {info.parent_span_id}",
+                where="telemetry", time_ns=info.start_ns))
+            continue
+        if info.start_ns < parent.start_ns:
+            violations.append(Violation(
+                "span-tree", f"request #{i} ({info.service}) starts "
+                f"before its parent ({info.start_ns} < "
+                f"{parent.start_ns})", where="telemetry",
+                time_ns=info.start_ns))
+        if strict_nesting and parent.end_ns is not None \
+                and info.end_ns > parent.end_ns:
+            violations.append(Violation(
+                "span-tree", f"request #{i} ({info.service}) outlives "
+                f"its parent ({info.end_ns} > {parent.end_ns})",
+                where="telemetry", time_ns=info.start_ns))
+    for span in tracer.spans:
+        if span.end_ns < span.start_ns:
+            violations.append(Violation(
+                "span-tree", f"span {span.span_id} "
+                f"({span.category}/{span.name}) has negative duration",
+                where="telemetry", time_ns=span.start_ns))
+    return violations

@@ -11,6 +11,8 @@ Examples::
         --loads 5000,10000,15000 --jobs 4
     python -m repro experiment fig14
     python -m repro experiment all --jobs 8
+    python -m repro simulate --system umanycore --check
+    python -m repro validate --trials 25 --seed 0
     python -m repro list
 
 See docs/CLI.md for the full reference of every subcommand.
@@ -108,17 +110,27 @@ def _run_simulation(args, tracer=None, metrics_interval_ns=None):
 
     config = SYSTEMS[args.system]
     app = _resolve_app(args.app)
+    check = None
+    if getattr(args, "check", False):
+        from repro.check import CheckContext
+
+        check = CheckContext(strict=True)
     sim = ClusterSimulation(config, app, rps_per_server=args.rps,
                             n_servers=args.servers, duration_s=args.duration,
                             seed=args.seed, arrivals=args.arrivals,
                             tracer=tracer,
-                            metrics_interval_ns=metrics_interval_ns)
+                            metrics_interval_ns=metrics_interval_ns,
+                            check=check)
     schedule, resilience = _fault_setup(args, sim)
     if schedule or resilience is not None:
         sim.install_faults(schedule, resilience)
         if getattr(args, "describe_faults", False) and not args.json:
             print(schedule.describe())
-    return sim.run()
+    result = sim.run()
+    if check is not None:
+        print(f"check      : {check.stats.checks} invariant checks, "
+              f"{len(check.violations)} violations", file=sys.stderr)
+    return result
 
 
 def _print_summary(result, json_mode: bool) -> None:
@@ -229,7 +241,7 @@ def cmd_sweep(args) -> None:
         n_servers=args.servers, duration_s=args.duration,
         arrivals=args.arrivals)
     points = spec.points()
-    cache = None if args.no_cache else ResultCache()
+    cache = None if args.no_cache or args.check else ResultCache()
     width = len(str(len(points)))
 
     def progress(event: dict) -> None:
@@ -240,7 +252,7 @@ def cmd_sweep(args) -> None:
               file=sys.stderr, flush=True)
 
     results = run_points(points, jobs=args.jobs, cache=cache,
-                         progress=progress, memo=False)
+                         progress=progress, memo=False, check=args.check)
     if args.json:
         print(json.dumps([r.as_dict() for r in results], indent=2,
                          sort_keys=True))
@@ -279,13 +291,54 @@ def cmd_experiment(args) -> None:
     }
     module = importlib.import_module(f"repro.experiments.{mapping[args.id]}")
     if args.id == "all":
-        module.main(jobs=args.jobs, use_cache=not args.no_cache)
+        module.main(jobs=args.jobs, use_cache=not args.no_cache,
+                    check=args.check)
         return
     from repro.runner import ResultCache, executing
 
-    cache = None if args.no_cache else ResultCache()
-    with executing(jobs=args.jobs, cache=cache):
+    cache = None if args.no_cache or args.check else ResultCache()
+    with executing(jobs=args.jobs, cache=cache, check=args.check):
         module.main()
+
+
+def cmd_validate(args) -> None:
+    """Property-based invariant validation (see :mod:`repro.check`).
+
+    Draws ``--trials`` randomized simulations (system, app, load,
+    arrival process, optional random fault schedule — all from
+    ``--seed``), runs each under the sanitizer, and shrinks any failing
+    trial to a minimal reproducible configuration.  Exits 1 if any
+    trial violates an invariant.
+    """
+    from repro.check.harness import fuzz, shrink
+
+    total = args.trials
+
+    def progress(i: int, trial, check) -> None:
+        status = "ok" if check.ok else f"{len(check.violations)} VIOLATIONS"
+        print(f"  [{i + 1:>3}/{total}] {trial.describe():72s} {status}",
+              file=sys.stderr, flush=True)
+
+    failures = fuzz(trials=args.trials, seed=args.seed,
+                    fault_fraction=args.fault_fraction, progress=progress)
+    if not failures:
+        print(f"validate: {args.trials} trials, 0 violations "
+              f"(seed {args.seed})")
+        return
+    print(f"validate: {len(failures)}/{args.trials} trials FAILED "
+          f"(seed {args.seed})")
+    for trial, check in failures:
+        print(f"\ntrial {trial.describe()}:")
+        for v in check.violations[:20]:
+            print(f"  {v}")
+        if len(check.violations) > 20:
+            print(f"  ... and {len(check.violations) - 20} more")
+        if not args.no_shrink:
+            small = shrink(trial)
+            print(f"  shrunk to: {small.describe()}")
+            print("  reproduce: run_trial(<that trial>) in "
+                  "repro.check.harness")
+    raise SystemExit(1)
 
 
 def cmd_list(args) -> None:
@@ -320,6 +373,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="poisson")
         p.add_argument("--json", action="store_true",
                        help="print the run summary as JSON")
+        p.add_argument("--check", action="store_true",
+                       help="run under the invariant sanitizer "
+                            "(repro.check); any violation aborts the run")
 
     def add_fault_args(p, default_rate: float = 0.0) -> None:
         g = p.add_argument_group(
@@ -414,6 +470,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "identical for any N)")
     swp.add_argument("--no-cache", action="store_true",
                      help="skip the on-disk result cache")
+    swp.add_argument("--check", action="store_true",
+                     help="run every point under the invariant sanitizer "
+                          "(implies --no-cache; violations abort)")
     swp.add_argument("--json", action="store_true",
                      help="print the results as a JSON array")
     swp.set_defaults(func=cmd_sweep)
@@ -427,7 +486,27 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default 1; tables are identical for any N)")
     exp.add_argument("--no-cache", action="store_true",
                      help="skip the on-disk result cache")
+    exp.add_argument("--check", action="store_true",
+                     help="run every simulation point under the "
+                          "invariant sanitizer (implies --no-cache)")
     exp.set_defaults(func=cmd_experiment)
+
+    val = sub.add_parser(
+        "validate",
+        help="property-based invariant validation (repro.check): fuzz "
+             "randomized workload/fault/seed trials and shrink any "
+             "failure to a minimal reproducible one")
+    val.add_argument("--trials", type=int, default=25, metavar="N",
+                     help="number of randomized trials (default 25)")
+    val.add_argument("--seed", type=int, default=0,
+                     help="master seed of the trial generator; the same "
+                          "seed always draws the same trials")
+    val.add_argument("--fault-fraction", type=float, default=0.5,
+                     help="fraction of trials that inject a random "
+                          "fault schedule (default 0.5)")
+    val.add_argument("--no-shrink", action="store_true",
+                     help="report failures without minimizing them")
+    val.set_defaults(func=cmd_validate)
 
     lst = sub.add_parser("list", help="list systems, apps, experiments")
     lst.set_defaults(func=cmd_list)

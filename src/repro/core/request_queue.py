@@ -20,6 +20,7 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional
 
+from repro.check.context import NULL_CHECK
 from repro.core.request import RequestRecord, RequestStatus
 
 
@@ -49,6 +50,9 @@ class RequestQueue:
         # engine) lets the queue stamp when entries become READY and
         # account total RQ residency; None keeps the queue time-free.
         self.clock = clock
+        #: Sanitizer hook, picked up from the clock (the engine carries
+        #: it) so a checked run validates every queue transition.
+        self.check = getattr(clock, "check", NULL_CHECK)
         self.wait_ns_total = 0.0
         self.dequeues = 0
         # Fault epoch: bumped by ``purge`` (village failure wipes the RQ
@@ -59,6 +63,7 @@ class RequestQueue:
     def set_clock(self, clock) -> None:
         """Attach a time source for RQ-wait accounting."""
         self.clock = clock
+        self.check = getattr(clock, "check", NULL_CHECK)
 
     def _stamp_ready(self, rec: RequestRecord) -> None:
         if self.clock is not None:
@@ -97,6 +102,8 @@ class RequestQueue:
         self._stamp_ready(rec)
         heapq.heappush(self._ready_heap,
                        (self.policy.key(rec), rec.req_id, rec))
+        if self.check.enabled:
+            self.check.rq_admit(self, rec)
         return True
 
     def soft_enqueue(self, rec: RequestRecord) -> None:
@@ -117,6 +124,8 @@ class RequestQueue:
         self._stamp_ready(rec)
         heapq.heappush(self._ready_heap,
                        (self.policy.key(rec), rec.req_id, rec))
+        if self.check.enabled:
+            self.check.rq_admit(self, rec, soft=True)
 
     def dequeue(self, service: Optional[str] = None) -> Optional[RequestRecord]:
         """Highest-priority READY entry matching ``service`` (None = any)."""
@@ -127,22 +136,30 @@ class RequestQueue:
                     heapq.heappop(self._ready_heap)   # stale entry
                     continue
                 heapq.heappop(self._ready_heap)
-                rec.status = RequestStatus.RUNNING
-                self._account_dequeue(rec)
-                return rec
+                return self._dequeued(rec)
             return None
-        # Service-filtered dequeue (co-located services): linear scan in
-        # FCFS order.
-        for offset in range(self._size):
-            rec = self._slots[(self._head + offset) % self.capacity]
-            if rec is None or rec.status is not RequestStatus.READY:
+        # Service-filtered dequeue (co-located services): pick the
+        # highest-priority matching READY entry from the index, which —
+        # unlike a circular-buffer slot scan — also sees soft
+        # (NIC-buffered) entries, so co-located child RPCs cannot
+        # starve.  The heap entry stays behind for lazy invalidation.
+        best = None
+        for key, req_id, rec in self._ready_heap:
+            if rec.status is not RequestStatus.READY \
+                    or rec.service != service:
                 continue
-            if rec.service != service:
-                continue
-            rec.status = RequestStatus.RUNNING
-            self._account_dequeue(rec)
-            return rec
-        return None
+            if best is None or (key, req_id) < best[0]:
+                best = ((key, req_id), rec)
+        if best is None:
+            return None
+        return self._dequeued(best[1])
+
+    def _dequeued(self, rec: RequestRecord) -> RequestRecord:
+        rec.status = RequestStatus.RUNNING
+        self._account_dequeue(rec)
+        if self.check.enabled:
+            self.check.rq_dequeue(self, rec)
+        return rec
 
     def has_ready(self, service: Optional[str] = None) -> bool:
         """The per-core Work flag: is there anything to dequeue?"""
@@ -152,17 +169,19 @@ class RequestQueue:
                     return True
                 heapq.heappop(self._ready_heap)
             return False
-        for offset in range(self._size):
-            rec = self._slots[(self._head + offset) % self.capacity]
-            if rec is not None and rec.status is RequestStatus.READY \
-                    and (service is None or rec.service == service):
-                return True
-        return False
+        # Same index walk as the filtered dequeue: soft entries count.
+        return any(rec.status is RequestStatus.READY
+                   and rec.service == service
+                   for __, __id, rec in self._ready_heap)
 
     def mark_blocked(self, rec: RequestRecord) -> None:
         rec.status = RequestStatus.BLOCKED
 
     def mark_ready(self, rec: RequestRecord) -> None:
+        if self.is_stale(rec):
+            # The entry (and its context memory) was wiped by a purge; a
+            # late wakeup must not plant a ghost in the new epoch's heap.
+            return
         if rec.status is not RequestStatus.BLOCKED:
             raise RuntimeError(
                 f"request {rec.req_id} not blocked ({rec.status})")
@@ -172,21 +191,35 @@ class RequestQueue:
         # by the (now smaller) remaining work.
         heapq.heappush(self._ready_heap,
                        (self.policy.key(rec), rec.req_id, rec))
+        if self.check.enabled:
+            self.check.rq_wakeup(self, rec)
 
     def complete(self, rec: RequestRecord) -> None:
         """Mark finished; advance the head past finished entries."""
         rec.status = RequestStatus.FINISHED
+        stale = self.is_stale(rec)
         if getattr(rec, "_rq_soft", False):
-            self.soft_entries -= 1
+            # Epoch guard: a purge already reset ``soft_entries`` to 0,
+            # so a late completion of a pre-purge soft entry must not
+            # decrement it (the counter would go negative and poison
+            # occupancy accounting for the rest of the run).
+            if not stale:
+                self.soft_entries -= 1
+            if self.check.enabled:
+                self.check.rq_complete(self, rec, stale=stale)
             return
-        while self._size > 0:
-            head_rec = self._slots[self._head]
-            if head_rec is None or head_rec.status is RequestStatus.FINISHED:
-                self._slots[self._head] = None
-                self._head = (self._head + 1) % self.capacity
-                self._size -= 1
-            else:
-                break
+        if not stale:
+            while self._size > 0:
+                head_rec = self._slots[self._head]
+                if head_rec is None \
+                        or head_rec.status is RequestStatus.FINISHED:
+                    self._slots[self._head] = None
+                    self._head = (self._head + 1) % self.capacity
+                    self._size -= 1
+                else:
+                    break
+        if self.check.enabled:
+            self.check.rq_complete(self, rec, stale=stale)
 
     def is_stale(self, rec: RequestRecord) -> bool:
         """Was ``rec``'s entry wiped by a purge since it was enqueued?"""
@@ -200,6 +233,8 @@ class RequestQueue:
         completion for a pre-purge entry is recognised as stale and
         ignored.  Returns the number of entries dropped.
         """
+        if self.check.enabled:
+            self.check.rq_purge(self)       # counts the pre-wipe entries
         dropped = self._size + self.soft_entries
         self._slots = [None] * self.capacity
         self._head = 0

@@ -220,6 +220,9 @@ class Village:
         rec.last_core = (self.village_id, core.core_id)
         rec.has_run = True
         core.busy_ns += duration
+        check = self.engine.check
+        if check.enabled:
+            check.compute_segment(self, rec, duration)
         tracer = self.engine.tracer
         if tracer.enabled:
             tracer.span("compute", f"{rec.service}#seg{rec.seg_index}",

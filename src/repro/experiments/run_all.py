@@ -1,7 +1,7 @@
 """Run every experiment and print all paper-figure tables.
 
 ``python -m repro.experiments.run_all [--quick] [--jobs N] [--no-cache]
-[--resume]``
+[--resume] [--check]``
 
 ``--quick`` uses reduced scales (useful for smoke-testing the harness);
 the default takes tens of minutes and produces the numbers recorded in
@@ -85,7 +85,7 @@ def _run_section(title, runner, settings) -> None:
 
 
 def main(quick: bool = False, jobs: int = 1, use_cache: bool = True,
-         resume: bool = False) -> None:
+         resume: bool = False, check: bool = False) -> None:
     """Print every figure table.
 
     Args:
@@ -94,14 +94,20 @@ def main(quick: bool = False, jobs: int = 1, use_cache: bool = True,
         use_cache: Consult/populate the on-disk result cache.
         resume: Skip sections a previous same-settings run completed
             (their tables are *not* reprinted); requires the cache.
+        check: Run every simulation point under the strict invariant
+            sanitizer (:mod:`repro.check`); forces the cache off so
+            every point actually executes and is verified.
     """
+    if check:
+        use_cache = False
+        resume = False
     if resume and not use_cache:
         raise SystemExit("--resume requires the result cache "
                          "(drop --no-cache)")
     settings = Settings(n_servers=1, duration_s=0.02) if quick else Settings()
     cache = ResultCache() if use_cache else None
     start = time.time()
-    with executing(jobs=jobs, cache=cache):
+    with executing(jobs=jobs, cache=cache, check=check):
         for title, runner in SECTIONS:
             marker = _section_marker(cache, title, settings) if cache else None
             if resume and marker is not None and marker.exists():
@@ -137,10 +143,15 @@ def parse_args(argv=None) -> argparse.Namespace:
     ap.add_argument("--resume", action="store_true",
                     help="skip sections completed by a previous run "
                          "with the same settings and code")
+    ap.add_argument("--check", action="store_true",
+                    help="run every simulation point under the "
+                         "invariant sanitizer (implies --no-cache; "
+                         "any violation aborts)")
     return ap.parse_args(argv)
 
 
 if __name__ == "__main__":
     _args = parse_args()
     main(quick=_args.quick, jobs=_args.jobs,
-         use_cache=not _args.no_cache, resume=_args.resume)
+         use_cache=not _args.no_cache, resume=_args.resume,
+         check=_args.check)

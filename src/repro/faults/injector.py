@@ -15,7 +15,7 @@ retry machinery is what gets them re-served elsewhere.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.faults.schedule import FaultEvent, FaultSchedule
 from repro.sim.engine import Engine
@@ -59,6 +59,9 @@ class FaultInjector:
         handler(server, event)
         self.injected += 1
         self.by_kind[event.kind] = self.by_kind.get(event.kind, 0) + 1
+        check = self.engine.check
+        if check.enabled:
+            check.fault_applied(event, self.engine.now)
 
     def _server(self, server_id: int):
         try:

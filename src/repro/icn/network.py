@@ -85,6 +85,11 @@ class Network:
         if len(path) < 2:
             self.engine.schedule(0.0, on_delivered)
             return
+        check = self.engine.check
+        if check.enabled:
+            # Conservation ledger covers routed (multi-hop) messages:
+            # every send ends in _deliver or an in-flight drop.
+            check.icn_send(self)
         sent_at = self.engine.now
         hop_time = self.config.hop_latency_ns + \
             self.config.serialization_ns(size_bytes)
@@ -116,21 +121,28 @@ class Network:
             u, v = hops[index]
             if topo.has_failures and not topo.link_alive(u, v):
                 # The link died while the message was queued upstream.
-                self._drop(on_dropped)
+                self._drop(on_dropped, in_flight=True)
                 return
             self._link(u, v).acquire(hop_time,
                                      lambda s, f: traverse(index + 1))
 
         traverse(0)
 
-    def _drop(self, on_dropped: Optional[Callable[[], None]]) -> None:
+    def _drop(self, on_dropped: Optional[Callable[[], None]],
+              in_flight: bool = False) -> None:
         """Blackhole one message (no route, or a hop died in flight)."""
         self.messages_dropped += 1
+        check = self.engine.check
+        if check.enabled:
+            check.icn_drop(self, in_flight=in_flight)
         if on_dropped is not None:
             self.engine.schedule(0.0, on_dropped)
 
     def _deliver(self, sent_at: float, on_delivered: Callable[[], None]) -> None:
         self.total_latency += self.engine.now - sent_at
+        check = self.engine.check
+        if check.enabled:
+            check.icn_deliver(self)
         on_delivered()
 
     def queued_messages(self) -> int:

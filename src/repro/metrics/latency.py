@@ -62,6 +62,10 @@ class LatencyRecorder:
     def summary(self, after_ns: float = 0.0) -> LatencySummary:
         lats = self.latencies(after_ns)
         if len(lats) == 0:
+            if self._latencies:
+                raise ValueError(
+                    f"all {len(self._latencies)} samples fall before the "
+                    f"warm-up cutoff ({self.name!r}, after_ns={after_ns:g})")
             raise ValueError(f"no samples recorded ({self.name!r})")
         return LatencySummary(
             count=len(lats),

@@ -76,6 +76,9 @@ class LNic:
         """Pass one message through the NIC; ``done`` on completion."""
         if self.failed:
             self.dropped += 1
+            check = self.engine.check
+            if check.enabled:
+                check.nic_drop(self)
             return
         self.messages += 1
         done = self._traced(done, rec)
@@ -97,6 +100,9 @@ class RNic(LNic):
                 rec=None) -> None:
         if self.failed:
             self.dropped += 1
+            check = self.engine.check
+            if check.enabled:
+                check.nic_drop(self)
             return
         self.messages += 1
         done = self._traced(done, rec)
@@ -184,18 +190,38 @@ class TopLevelNic:
         if not villages:
             raise KeyError(f"no instance of service {service!r} registered")
         if self._down:
-            villages = [v for v in villages if v not in self._down]
-            if not villages:
+            healthy = [v for v in villages if v not in self._down]
+            if not healthy:
                 raise KeyError(
                     f"no healthy instance of service {service!r}")
-        if exclude is not None and len(villages) > 1:
-            villages = [v for v in villages if v != exclude] or villages
+        else:
+            healthy = villages
+        if exclude is not None and len(healthy) > 1:
+            candidates = [v for v in healthy if v != exclude] or healthy
+        else:
+            candidates = healthy
         self.dispatched += 1
         if self.dispatch == "random":
-            return villages[int(self.rng.integers(len(villages)))]
-        idx = self._rr.get(service, 0) % len(villages)
-        self._rr[service] = idx + 1
-        return villages[idx]
+            village = candidates[int(self.rng.integers(len(candidates)))]
+        else:
+            # Round-robin keyed on the *unfiltered* instance list: the
+            # pointer advances one registered instance per dispatch and
+            # unhealthy/excluded entries are skipped in place, so a
+            # village going down (or coming back) never shifts which
+            # instance the surviving rotation hands to everyone else.
+            n = len(villages)
+            ptr = self._rr.get(service, 0) % n
+            village = candidates[0]
+            for i in range(n):
+                v = villages[(ptr + i) % n]
+                if v in candidates:
+                    village = v
+                    self._rr[service] = (ptr + i + 1) % n
+                    break
+        check = self.engine.check
+        if check.enabled:
+            check.nic_dispatch(self, service, village)
+        return village
 
     def process(self, size_bytes: int, done: Callable[[], None],
                 rec=None) -> None:
@@ -220,6 +246,9 @@ class TopLevelNic:
         """Buffer a request that found its RQ full; False = rejected."""
         if len(self._buffer) >= self.buffer_capacity:
             self.rejected += 1
+            check = self.engine.check
+            if check.enabled:
+                check.nic_reject(self)
             return False
         self._buffer.append(item)
         return True

@@ -42,7 +42,11 @@ class Message:
     def create(cls, engine, kind: MessageKind, service: str,
                **kwargs: Any) -> "Message":
         """Build a message with a run-local id from ``engine``."""
-        return cls(kind, service, msg_id=engine.next_msg_id(), **kwargs)
+        msg = cls(kind, service, msg_id=engine.next_msg_id(), **kwargs)
+        check = engine.check
+        if check.enabled:
+            check.message_created(msg)
+        return msg
 
     @property
     def is_request(self) -> bool:

@@ -30,10 +30,14 @@ class ExecutionContext:
     Attributes:
         jobs: Worker process count for :func:`run_points` (1 = serial).
         cache: Shared on-disk result cache, or None to disable.
+        check: Run every point under the strict invariant sanitizer
+            (:mod:`repro.check`); implies no caching or memoization so
+            each point is actually verified.
     """
 
     jobs: int = 1
     cache: Optional[ResultCache] = None
+    check: bool = False
 
 
 _context = ExecutionContext()
@@ -49,13 +53,16 @@ def execution() -> ExecutionContext:
     return _context
 
 
-def configure(jobs: Optional[int] = None, cache=_UNSET) -> ExecutionContext:
+def configure(jobs: Optional[int] = None, cache=_UNSET,
+              check: Optional[bool] = None) -> ExecutionContext:
     """Update the process-wide execution context.
 
     Args:
         jobs: New worker count, or None to leave unchanged.
         cache: New :class:`ResultCache` (or None to disable caching);
             omit to leave unchanged.
+        check: Enable/disable the invariant sanitizer for every point,
+            or None to leave unchanged.
 
     Returns:
         The updated context.
@@ -64,25 +71,29 @@ def configure(jobs: Optional[int] = None, cache=_UNSET) -> ExecutionContext:
         _context.jobs = max(1, int(jobs))
     if cache is not _UNSET:
         _context.cache = cache
+    if check is not None:
+        _context.check = bool(check)
     return _context
 
 
 @contextmanager
-def executing(jobs: Optional[int] = None, cache=_UNSET):
+def executing(jobs: Optional[int] = None, cache=_UNSET,
+              check: Optional[bool] = None):
     """Temporarily override the execution context (tests, one-off runs).
 
     Args:
         jobs: Worker count for the scope, or None to keep the current.
         cache: Cache for the scope; omit to keep the current.
+        check: Sanitizer setting for the scope; None keeps the current.
 
     Yields:
         The active :class:`ExecutionContext` inside the scope.
     """
-    saved = (_context.jobs, _context.cache)
+    saved = (_context.jobs, _context.cache, _context.check)
     try:
-        yield configure(jobs=jobs, cache=cache)
+        yield configure(jobs=jobs, cache=cache, check=check)
     finally:
-        _context.jobs, _context.cache = saved
+        _context.jobs, _context.cache, _context.check = saved
 
 
 def clear_memo() -> None:
@@ -94,7 +105,8 @@ def run_points(points: Sequence[SweepPoint],
                jobs: Optional[int] = None,
                cache=_UNSET,
                progress: Optional[ProgressFn] = None,
-               memo: bool = True) -> List[RunResult]:
+               memo: bool = True,
+               check: Optional[bool] = None) -> List[RunResult]:
     """Execute sweep points under the active (or overridden) context.
 
     Args:
@@ -106,15 +118,26 @@ def run_points(points: Sequence[SweepPoint],
             :class:`~repro.runner.parallel.ParallelRunner`).
         memo: Serve and populate the per-process memo (disable to force
             re-execution, e.g. in cache tests).
+        check: Run every point under the strict invariant sanitizer;
+            None inherits the context setting.  Check runs bypass both
+            the disk cache and the memo — serving a stored result would
+            skip exactly the verification that was requested.
 
     Returns:
         One :class:`RunResult` per point, positionally aligned with
         ``points`` regardless of jobs, cache state or completion order.
     """
+    from dataclasses import replace
+
     points = list(points)
     ctx = execution()
     use_jobs = ctx.jobs if jobs is None else max(1, int(jobs))
     use_cache = ctx.cache if cache is _UNSET else cache
+    use_check = ctx.check if check is None else bool(check)
+    if use_check:
+        points = [p if p.check else replace(p, check=True) for p in points]
+        use_cache = None
+        memo = False
 
     keys = [p.key() for p in points]
     results: List[Optional[RunResult]] = [None] * len(points)

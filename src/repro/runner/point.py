@@ -37,6 +37,12 @@ class SweepPoint:
     arrivals: str = "poisson"
     faults: Optional[object] = None         # FaultSchedule or None
     resilience: Optional[object] = None     # ResilienceConfig or None
+    #: Run under the invariant sanitizer (repro.check).  Deliberately
+    #: NOT part of :meth:`key`: checks observe the simulation without
+    #: perturbing it, so the result is the same either way — but check
+    #: runs bypass the cache entirely (see ``run_points``) because a
+    #: cache hit would skip the verification the caller asked for.
+    check: bool = False
 
     @property
     def label(self) -> str:
@@ -72,15 +78,23 @@ class SweepPoint:
         Returns:
             The :class:`~repro.systems.cluster.RunResult` of one
             untraced :func:`~repro.systems.cluster.simulate` call.
+            With ``check`` set, the run executes under a strict
+            :class:`repro.check.CheckContext` and raises
+            :class:`repro.check.CheckError` on any violation.
         """
         from repro.systems.cluster import simulate
 
+        checker = None
+        if self.check:
+            from repro.check import CheckContext
+
+            checker = CheckContext(strict=True)
         return simulate(self.config, self.app, rps_per_server=self.rps,
                         n_servers=self.n_servers,
                         duration_s=self.duration_s, seed=self.seed,
                         warmup_fraction=self.warmup_fraction,
                         arrivals=self.arrivals, faults=self.faults,
-                        resilience=self.resilience)
+                        resilience=self.resilience, check=checker)
 
 
 @dataclass(frozen=True)

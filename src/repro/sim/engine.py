@@ -10,6 +10,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.check.context import NULL_CHECK
 from repro.telemetry.tracer import NULL_TRACER
 
 
@@ -51,6 +52,9 @@ class Engine:
         #: Defaults to the no-op tracer; sites guard on ``tracer.enabled``
         #: so disabled tracing costs one attribute load per hook.
         self.tracer = NULL_TRACER
+        #: Invariant sanitizer hook (:mod:`repro.check`), same pattern:
+        #: the default no-op context keeps checking off the hot path.
+        self.check = NULL_CHECK
         self._msg_ids: int = 0
 
     def next_msg_id(self) -> int:
@@ -94,6 +98,8 @@ class Engine:
             time, __, ev = heapq.heappop(self._heap)
             if ev.cancelled:
                 continue
+            if self.check.enabled:
+                self.check.clock_advance(self.now, time)
             self.now = time
             self.events_processed += 1
             ev.fn(*ev.args)
@@ -109,7 +115,12 @@ class Engine:
             if nxt is None:
                 break
             if until is not None and nxt > until:
-                self.now = until
+                # Clamp: a second run() with an earlier horizon must not
+                # rewind the clock below times already handed out.
+                if until > self.now:
+                    if self.check.enabled:
+                        self.check.clock_advance(self.now, until)
+                    self.now = until
                 break
             self.step()
             processed += 1

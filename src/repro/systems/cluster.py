@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.check.context import NULL_CHECK, NullCheckContext
 from repro.faults import FaultInjector, FaultSchedule, ResilienceConfig
 from repro.metrics.latency import LatencyRecorder, LatencySummary
 from repro.net.fabric import FabricConfig, InterServerFabric, StorageBackend
@@ -121,7 +122,8 @@ class ClusterSimulation:
                  tracer: Optional[NullTracer] = None,
                  metrics_interval_ns: Optional[float] = None,
                  faults: Optional[FaultSchedule] = None,
-                 resilience: Optional[ResilienceConfig] = None):
+                 resilience: Optional[ResilienceConfig] = None,
+                 check: Optional[NullCheckContext] = None):
         if n_servers < 1:
             raise ValueError("n_servers must be >= 1")
         if not 0 <= warmup_fraction < 1:
@@ -136,6 +138,11 @@ class ClusterSimulation:
         self.duration_s = duration_s
         self.warmup_fraction = warmup_fraction
         self.engine = Engine()
+        # Invariant sanitizer (repro.check): installed before any
+        # component is built so every queue/resource registers with it.
+        self.check = check if check is not None else NULL_CHECK
+        if check is not None:
+            self.engine.check = check
         self.tracer = tracer
         if tracer is not None:
             self.engine.tracer = tracer     # every layer reports through it
@@ -221,6 +228,8 @@ class ClusterSimulation:
             rng = self.streams.stream(f"arrivals{i}")
             for t in generate(self.rps_per_server, self.duration_s, rng):
                 self.offered += 1
+                if self.check.enabled:
+                    self.check.root_offered()
                 self.engine.schedule_at(
                     float(t), self._issue, server, float(t))
 
@@ -228,6 +237,8 @@ class ClusterSimulation:
         def done(rec) -> None:
             if rec.rejected:
                 self.rejected += 1
+                if self.check.enabled:
+                    self.check.root_done("rejected")
                 if self.metrics is not None:
                     self.metrics.counter("rejected").inc()
                 return
@@ -235,9 +246,13 @@ class ClusterSimulation:
                 # An error response (retries exhausted / deadline blown):
                 # answered, but not goodput — excluded from latency.
                 self.failed += 1
+                if self.check.enabled:
+                    self.check.root_done("failed")
                 if self.metrics is not None:
                     self.metrics.counter("failed").inc()
                 return
+            if self.check.enabled:
+                self.check.root_done("completed")
             latency = self.engine.now - arrival_ns
             self.recorder.record(self.engine.now, latency)
             if self.metrics is not None:
@@ -253,6 +268,13 @@ class ClusterSimulation:
             self.metrics.histogram("latency_ns")
             self.metrics.start_sampling(self.engine, self.metrics_interval_ns)
         self.engine.run(max_events=max_events)
+        if self.check.enabled:
+            # Balance the conservation ledgers; drain-only checks are
+            # skipped when a max_events budget truncated the run.
+            drained = self.engine.peek_time() is None
+            self.check.finalize(self, drained=drained)
+            if getattr(self.check, "strict", False):
+                self.check.raise_if_violations()
         warmup_ns = self.warmup_fraction * self.duration_s * 1e9
         summary = self.recorder.summary(after_ns=warmup_ns)
         fault_stats = self._fault_stats() \
@@ -301,7 +323,8 @@ def simulate(config: SystemConfig, app: AppSpec, rps_per_server: float,
              tracer: Optional[NullTracer] = None,
              metrics_interval_ns: Optional[float] = None,
              faults: Optional[FaultSchedule] = None,
-             resilience: Optional[ResilienceConfig] = None) -> RunResult:
+             resilience: Optional[ResilienceConfig] = None,
+             check: Optional[NullCheckContext] = None) -> RunResult:
     """One-call wrapper: build the cluster, run it, return the result.
 
     Pass a :class:`repro.telemetry.Tracer` to capture spans and/or a
@@ -309,10 +332,13 @@ def simulate(config: SystemConfig, app: AppSpec, rps_per_server: float,
     both default to off (zero-overhead NullTracer path).  A non-empty
     ``faults`` schedule installs the injector and (unless an explicit
     ``resilience`` policy is given) arms default timeout/retry handling.
+    A :class:`repro.check.CheckContext` as ``check`` runs the run under
+    the invariant sanitizer (raising on violations when it is strict).
     """
     sim = ClusterSimulation(config, app, rps_per_server, n_servers,
                             duration_s, seed, warmup_fraction, fabric_config,
                             arrivals=arrivals, tracer=tracer,
                             metrics_interval_ns=metrics_interval_ns,
-                            faults=faults, resilience=resilience)
+                            faults=faults, resilience=resilience,
+                            check=check)
     return sim.run()

@@ -483,11 +483,15 @@ class Server:
                       on_complete: Callable[[RequestRecord], None],
                       depth: int = 0) -> RequestRecord:
         spec = self.apps[app_name].services[service]
-        return RequestRecord(
+        rec = RequestRecord(
             app_name=app_name, service=service,
             segments=spec.sample_segments(self.rng),
             on_complete=on_complete, arrival_ns=self.engine.now, depth=depth,
             server=self.server_id)
+        check = self.engine.check
+        if check.enabled:
+            check.request_created(rec)
+        return rec
 
     def _submit_with_retry(self, rec: RequestRecord, village_id: int,
                            attempt: int = 0) -> None:
@@ -576,6 +580,8 @@ class Server:
                 self.rejected += 1
                 rec.rejected = True
                 rec.finish_ns = self.engine.now
+                if self.engine.check.enabled:
+                    self.engine.check.ext_rejected(rec)
                 if self.engine.tracer.enabled:
                     self.engine.tracer.end_request(rec, self.engine.now,
                                                    rejected=True)
@@ -597,6 +603,8 @@ class Server:
                 self.rejected += 1
                 rec.rejected = True
                 rec.finish_ns = self.engine.now
+                if self.engine.check.enabled:
+                    self.engine.check.ext_rejected(rec)
                 tracer = self.engine.tracer
                 if tracer.enabled:
                     tracer.end_request(rec, self.engine.now, rejected=True)

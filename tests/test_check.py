@@ -1,0 +1,178 @@
+"""Tests for the invariant sanitizer (repro.check)."""
+
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+
+from repro.check import (
+    CheckContext,
+    CheckError,
+    NULL_CHECK,
+    check_span_tree,
+)
+from repro.systems.cluster import simulate
+from repro.systems.configs import UMANYCORE
+from repro.workloads.deathstar import SOCIAL_NETWORK_APPS
+
+SMALL = replace(UMANYCORE, n_cores=128, n_clusters=8)
+
+
+def run(check=None, tracer=None, seed=1, **kw):
+    kw.setdefault("rps_per_server", 6000)
+    kw.setdefault("n_servers", 1)
+    kw.setdefault("duration_s", 0.004)
+    return simulate(SMALL, SOCIAL_NETWORK_APPS["Text"], seed=seed,
+                    check=check, tracer=tracer, **kw)
+
+
+# ---------------------------------------------------------------- unit level
+
+def test_null_check_is_disabled_and_inert():
+    assert not NULL_CHECK.enabled
+    NULL_CHECK.clock_advance(5.0, 1.0)          # no-op, never raises
+    assert NULL_CHECK.finalize() == []
+
+
+def test_violation_collection_and_ok():
+    check = CheckContext(strict=False)
+    assert check.ok
+    check.violation("clock", "went backwards", where="engine", time_ns=3.0)
+    assert not check.ok
+    assert "clock" in str(check.violations[0])
+    assert "engine" in str(check.violations[0])
+
+
+def test_raise_if_violations_lists_each_one():
+    check = CheckContext()
+    check.violation("a", "first")
+    check.violation("b", "second")
+    with pytest.raises(CheckError) as err:
+        check.raise_if_violations()
+    assert "first" in str(err.value) and "second" in str(err.value)
+
+
+def test_fail_fast_raises_on_first_violation():
+    check = CheckContext(fail_fast=True)
+    with pytest.raises(CheckError):
+        check.violation("clock", "boom")
+
+
+def test_clock_advance_flags_backwards_motion():
+    check = CheckContext(strict=False)
+    check.clock_advance(0.0, 10.0)
+    assert check.ok
+    check.clock_advance(10.0, 4.0)
+    assert any(v.category == "clock" for v in check.violations)
+
+
+def test_report_summarizes_both_outcomes():
+    check = CheckContext(strict=False)
+    check.clock_advance(0.0, 1.0)
+    assert check.report().startswith("ok:")
+    check.violation("x", "bad")
+    assert check.report().startswith("FAIL")
+
+
+# ------------------------------------------------------------- span checker
+
+def _info(i, root=None, span_id=None, parent=None, start=0.0, end=10.0):
+    return SimpleNamespace(index=i, root_index=root if root is not None
+                           else i, span_id=span_id if span_id is not None
+                           else i, parent_span_id=parent, service=f"s{i}",
+                           start_ns=start, end_ns=end)
+
+
+def _tracer(infos, spans=()):
+    return SimpleNamespace(requests=list(infos), spans=list(spans),
+                           enabled=True)
+
+
+def test_span_tree_clean():
+    parent = _info(0, start=0.0, end=100.0)
+    child = _info(1, root=0, parent=0, start=10.0, end=90.0)
+    assert check_span_tree(_tracer([parent, child])) == []
+
+
+def test_span_tree_flags_unclosed_root():
+    open_root = _info(0, end=None)
+    vs = check_span_tree(_tracer([open_root]), require_closed=True)
+    assert any("never" in v.message for v in vs)
+    assert check_span_tree(_tracer([open_root]), require_closed=False) == []
+
+
+def test_span_tree_flags_negative_duration_and_bad_parent():
+    bad = _info(0, start=50.0, end=10.0)
+    orphan = _info(1, root=0, parent=99, start=0.0, end=5.0)
+    vs = check_span_tree(_tracer([bad, orphan]))
+    messages = " | ".join(v.message for v in vs)
+    assert "negative duration" in messages
+    assert "unknown parent" in messages
+
+
+def test_span_tree_strict_nesting_toggle():
+    parent = _info(0, start=0.0, end=100.0)
+    late = _info(1, root=0, parent=0, start=10.0, end=150.0)
+    tr = _tracer([parent, late])
+    assert any("outlives" in v.message for v in check_span_tree(tr))
+    assert check_span_tree(tr, strict_nesting=False) == []
+
+
+def test_span_tree_scans_non_request_spans():
+    span = SimpleNamespace(span_id=7, category="compute", name="seg",
+                           start_ns=20.0, end_ns=5.0)
+    vs = check_span_tree(_tracer([], spans=[span]))
+    assert any("negative duration" in v.message for v in vs)
+
+
+# ------------------------------------------------------------- whole-system
+
+def test_checked_clean_run_has_zero_violations():
+    check = CheckContext(strict=False)
+    run(check=check)
+    assert check.ok, "\n".join(str(v) for v in check.violations)
+    assert check.stats.checks > 1000
+    assert check.stats.structural_scans > 0
+
+
+def test_checked_traced_run_has_zero_violations():
+    from repro.telemetry import Tracer
+
+    check = CheckContext(strict=False)
+    run(check=check, tracer=Tracer())
+    assert check.ok, "\n".join(str(v) for v in check.violations)
+
+
+def test_checked_faulted_run_has_zero_violations():
+    from repro.check.harness import Trial, run_trial
+
+    check = run_trial(Trial(seed=11, fault_rate=1000.0, trace=True))
+    assert check.ok, "\n".join(str(v) for v in check.violations)
+
+
+def test_check_does_not_perturb_the_simulation():
+    """A checked run is byte-identical to an unchecked one."""
+    plain = run().as_dict()
+    checked = run(check=CheckContext(strict=True)).as_dict()
+    assert plain == checked
+
+
+def test_strict_check_raises_at_drain(monkeypatch):
+    """A seeded violation surfaces as CheckError from sim.run()."""
+    check = CheckContext(strict=True)
+    original = CheckContext.finalize
+
+    def poisoned(self, sim=None, drained=True):
+        self.violation("test", "seeded failure")
+        return original(self, sim, drained)
+
+    monkeypatch.setattr(CheckContext, "finalize", poisoned)
+    with pytest.raises(CheckError, match="seeded failure"):
+        run(check=check)
+
+
+def test_finalize_is_idempotent():
+    check = CheckContext(strict=False)
+    run(check=check)
+    before = list(check.violations)
+    assert check.finalize() == before

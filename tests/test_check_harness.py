@@ -1,0 +1,94 @@
+"""Tests for the property-based fuzz/shrink harness (repro.check.harness)."""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.check.harness import Trial, draw_trial, fuzz, run_trial, shrink
+
+
+def test_trial_describe_is_executable_repro():
+    trial = Trial(seed=42, config="scaleout", app="User", rps=4000.0,
+                  fault_rate=200.0, trace=False)
+    rebuilt = eval(trial.describe())          # noqa: S307 - own repr
+    assert rebuilt == trial
+
+
+def test_draw_trial_is_deterministic():
+    a = [draw_trial(np.random.default_rng(5)) for __ in range(3)]
+    b = [draw_trial(np.random.default_rng(5)) for __ in range(3)]
+    assert a == b
+
+
+def test_draw_trial_respects_fault_fraction():
+    rng = np.random.default_rng(0)
+    none = [draw_trial(rng, fault_fraction=0.0) for __ in range(10)]
+    assert all(t.fault_rate == 0.0 for t in none)
+    rng = np.random.default_rng(0)
+    every = [draw_trial(rng, fault_fraction=1.0) for __ in range(10)]
+    assert all(t.fault_rate > 0.0 for t in every)
+
+
+def test_run_trial_returns_collecting_context():
+    check = run_trial(Trial(seed=2, duration_s=0.002, trace=False))
+    assert check.ok
+    assert check.stats.checks > 0
+
+
+def test_fuzz_small_budget_is_clean_and_reports_progress():
+    seen = []
+    failures = fuzz(trials=3, seed=1, fault_fraction=0.5,
+                    progress=lambda i, t, c: seen.append((i, t.seed, c.ok)))
+    assert failures == []
+    assert [i for i, __, __ok in seen] == [0, 1, 2]
+    assert all(ok for __, __seed, ok in seen)
+
+
+def test_shrink_reduces_along_each_axis():
+    """With an injected predicate, shrink strips every reducible axis."""
+    big = Trial(seed=9, config="umanycore", app="HomeT", rps=16_000.0,
+                n_servers=2, duration_s=0.008, arrivals="bursty",
+                fault_rate=1000.0, trace=True)
+    small = shrink(big, fails=lambda t: True)
+    assert small.fault_rate == 0.0
+    assert not small.trace
+    assert small.duration_s == big.duration_s / 4
+    assert small.n_servers == 1
+    assert small.app == "Text"
+    assert small.arrivals == "poisson"
+    assert small.rps == 4000.0
+    assert small.seed == big.seed            # the seed is the repro anchor
+
+
+def test_shrink_keeps_only_still_failing_reductions():
+    """An axis change that stops reproducing is rolled back."""
+    big = Trial(seed=9, fault_rate=1000.0, n_servers=2, trace=True)
+
+    def fails(t: Trial) -> bool:
+        return t.fault_rate > 0        # the bug needs the fault schedule
+
+    small = shrink(big, fails=fails)
+    assert small.fault_rate == big.fault_rate
+    assert not small.trace and small.n_servers == 1
+
+
+def test_shrink_returns_trial_itself_when_irreducible():
+    minimal = Trial(seed=3, config="umanycore", app="Text", rps=4000.0,
+                    n_servers=1, duration_s=0.002, arrivals="poisson",
+                    fault_rate=0.0, trace=False)
+    calls = []
+
+    def fails(t: Trial) -> bool:
+        calls.append(t)
+        return t == minimal
+
+    assert shrink(minimal, fails=fails) == minimal
+    assert all(c != minimal for c in calls)   # only candidates re-ran
+
+
+def test_run_trial_tolerates_warmup_only_runs():
+    """A run whose completions all land in the warm-up window is
+    inconclusive for latency but still checkable for invariants."""
+    check = run_trial(replace(Trial(seed=4, trace=False),
+                              rps=4000.0, duration_s=0.002))
+    assert check.ok

@@ -102,6 +102,61 @@ def test_sweep_command_table(capsys):
     assert "cache:" not in captured.err
 
 
+def test_parser_check_flags():
+    args = build_parser().parse_args(["simulate", "--system", "umanycore",
+                                      "--check"])
+    assert args.check
+    args = build_parser().parse_args(["sweep", "--check"])
+    assert args.check
+    args = build_parser().parse_args(["validate", "--trials", "3"])
+    assert args.trials == 3 and args.seed == 0
+
+
+def test_simulate_check_reports_zero_violations(capsys):
+    main(["simulate", "--system", "umanycore", "--app", "UrlShort",
+          "--rps", "2000", "--servers", "1", "--duration", "0.008",
+          "--check"])
+    captured = capsys.readouterr()
+    assert "P50 / P99" in captured.out
+    assert "0 violations" in captured.err
+
+
+def test_sweep_check_bypasses_cache(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    main(["sweep", "--systems", "umanycore", "--apps", "UrlShort",
+          "--loads", "2000", "--servers", "1", "--duration", "0.004",
+          "--check"])
+    captured = capsys.readouterr()
+    assert "p99 us" in captured.out
+    assert "cache:" not in captured.err     # check mode never caches
+    assert not list(tmp_path.iterdir())
+
+
+def test_validate_command_clean(capsys):
+    main(["validate", "--trials", "2", "--seed", "1"])
+    captured = capsys.readouterr()
+    assert "2 trials, 0 violations" in captured.out
+    assert "[  1/2]" in captured.err and "ok" in captured.err
+
+
+def test_validate_command_failure_shrinks_and_exits(monkeypatch, capsys):
+    from repro.check.context import CheckContext
+    import repro.check.harness as harness
+
+    def broken_run_trial(trial):
+        check = CheckContext(strict=False)
+        check.violation("conservation", "seeded imbalance")
+        return check
+
+    monkeypatch.setattr(harness, "run_trial", broken_run_trial)
+    with pytest.raises(SystemExit) as err:
+        main(["validate", "--trials", "1", "--seed", "2"])
+    assert err.value.code == 1
+    out = capsys.readouterr().out
+    assert "FAILED" in out and "seeded imbalance" in out
+    assert "shrunk to: Trial(" in out
+
+
 def test_sweep_command_caches_between_invocations(tmp_path, monkeypatch,
                                                   capsys):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

@@ -113,6 +113,83 @@ def test_invalid_capacity():
         RequestQueue(0)
 
 
+def test_service_dequeue_sees_soft_entries():
+    """Service-filtered dequeue must not skip NIC-buffered (soft)
+    entries: before the ready-heap scan it only walked slots, so a
+    co-located child RPC waiting as a soft entry could starve forever."""
+    rq = RequestQueue(8)
+    child = rec("child-svc")
+    rq.soft_enqueue(child)
+    assert rq.has_ready("child-svc")
+    assert rq.dequeue("child-svc") is child
+    assert child.status is RequestStatus.RUNNING
+
+
+def test_service_dequeue_fcfs_across_slot_and_soft_entries():
+    rq = RequestQueue(8)
+    a, b, c = rec("svc"), rec("svc"), rec("other")
+    rq.enqueue(a)
+    rq.soft_enqueue(b)
+    rq.enqueue(c)
+    assert rq.dequeue("svc") is a     # slot entry arrived first
+    assert rq.dequeue("svc") is b     # then the soft entry
+    assert rq.dequeue("svc") is None
+    assert rq.dequeue("other") is c
+
+
+def test_stale_soft_complete_does_not_go_negative():
+    """Completing a pre-purge soft entry after the purge reset
+    ``soft_entries`` to 0 must not drive the counter negative."""
+    rq = RequestQueue(8)
+    old = rec()
+    rq.soft_enqueue(old)
+    rq.dequeue()
+    rq.purge()
+    assert rq.soft_entries == 0
+    fresh = rec()
+    rq.soft_enqueue(fresh)
+    rq.complete(old)                  # late completion of the purged entry
+    assert rq.soft_entries == 1       # fresh entry still accounted
+    rq.complete(fresh)
+    assert rq.soft_entries == 0
+
+
+def test_purge_drops_slots_and_soft_entries():
+    rq = RequestQueue(8)
+    rq.enqueue(rec())
+    rq.soft_enqueue(rec())
+    assert rq.purge() == 2
+    assert rq.occupancy == 0 and rq.soft_entries == 0
+    assert not rq.has_ready()
+
+
+def test_late_wakeup_after_purge_is_ignored():
+    """mark_ready for a purged entry must not plant a ghost heap entry
+    in the new epoch."""
+    rq = RequestQueue(8)
+    old = rec()
+    rq.enqueue(old)
+    rq.dequeue()
+    rq.mark_blocked(old)
+    rq.purge()
+    rq.mark_ready(old)                # stale: silently ignored
+    assert not rq.has_ready()
+    assert rq.dequeue() is None
+
+
+def test_late_slot_complete_after_purge_leaves_new_entries_alone():
+    rq = RequestQueue(4)
+    old = rec()
+    rq.enqueue(old)
+    rq.dequeue()
+    rq.purge()
+    fresh = rec()
+    rq.enqueue(fresh)
+    rq.complete(old)                  # stale: must not advance the head
+    assert rq.occupancy == 1
+    assert rq.entries() == [fresh]
+
+
 @given(st.lists(st.sampled_from(["enq", "deq", "fin"]), min_size=1, max_size=200))
 @settings(max_examples=60, deadline=None)
 def test_rq_invariants_under_random_ops(ops):

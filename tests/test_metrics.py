@@ -35,8 +35,22 @@ def test_warmup_cutoff_filters_by_completion_time():
 
 
 def test_empty_recorder_raises():
-    with pytest.raises(ValueError):
-        LatencyRecorder().summary()
+    with pytest.raises(ValueError, match="no samples recorded"):
+        LatencyRecorder("e2e").summary()
+
+
+def test_all_samples_before_cutoff_error_names_recorder_and_cutoff():
+    """The warm-up-cutoff case reads differently from a truly empty
+    recorder: the error names the recorder and the cutoff so a too-short
+    run is diagnosable from the message alone."""
+    rec = LatencyRecorder("e2e")
+    rec.record(10.0, 5.0)
+    rec.record(20.0, 6.0)
+    with pytest.raises(ValueError) as err:
+        rec.summary(after_ns=50.0)
+    msg = str(err.value)
+    assert "all 2 samples" in msg
+    assert "'e2e'" in msg and "after_ns=50" in msg
 
 
 def test_negative_latency_rejected():

@@ -66,6 +66,42 @@ def test_service_map_round_robin():
     assert nic.villages_for("svc") == [3, 7]
 
 
+def test_service_map_round_robin_skips_down_villages():
+    nic = TopLevelNic(Engine())
+    for v in (3, 7):
+        nic.register_instance("svc", v)
+    nic.mark_village_down(3)
+    assert [nic.pick_village("svc") for __ in range(3)] == [7, 7, 7]
+    nic.mark_village_down(7)
+    with pytest.raises(KeyError):
+        nic.pick_village("svc")
+
+
+def test_service_map_rotation_survives_down_up_cycle():
+    """The round-robin pointer rotates over the registered list, so a
+    village going down and back up does not skew which instance the
+    rotation hands out next.  The pre-fix code advanced the pointer over
+    the *filtered* list, so after 0 recovered here the next pick was 2
+    (skipping 0 entirely for a whole cycle)."""
+    nic = TopLevelNic(Engine())
+    for v in (0, 1, 2):
+        nic.register_instance("svc", v)
+    nic.mark_village_down(0)
+    assert [nic.pick_village("svc") for __ in range(2)] == [1, 2]
+    nic.mark_village_up(0)
+    assert nic.pick_village("svc") == 0    # rotation resumes where it was
+
+
+def test_service_map_exclude_prefers_alternative():
+    nic = TopLevelNic(Engine())
+    for v in (1, 2):
+        nic.register_instance("svc", v)
+    assert all(nic.pick_village("svc", exclude=1) == 2 for __ in range(4))
+    # With a single instance the exclusion cannot be honoured.
+    nic.register_instance("solo", 5)
+    assert nic.pick_village("solo", exclude=5) == 5
+
+
 def test_service_map_deregister():
     nic = TopLevelNic(Engine())
     nic.register_instance("svc", 1)

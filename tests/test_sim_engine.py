@@ -47,6 +47,20 @@ def test_run_until_stops_clock_at_bound():
     assert fired == ["a", "b"]
 
 
+def test_run_until_earlier_horizon_does_not_rewind_clock():
+    """A second run() with an until below the current time must clamp
+    rather than move the clock backwards past times already handed out."""
+    eng = Engine()
+    eng.schedule(10.0, lambda: None)
+    eng.run()
+    assert eng.now == 10.0
+    eng.schedule(5.0, lambda: None)      # pending at t=15
+    eng.run(until=3.0)                   # horizon already in the past
+    assert eng.now == 10.0               # clock did not rewind
+    eng.run()
+    assert eng.now == 15.0
+
+
 def test_schedule_during_event_execution():
     eng = Engine()
     fired = []
