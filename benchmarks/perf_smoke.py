@@ -126,6 +126,34 @@ def runner_equivalence() -> list:
     return failures
 
 
+def policy_equivalence() -> list:
+    """Check that naming the default scheduling policies explicitly is
+    byte-identical to leaving them implicit (the repro.sched refactor's
+    zero-behaviour-change contract).
+
+    Returns:
+        A list of failure strings (empty when equivalent).
+    """
+    explicit = replace(CONFIG, dispatch="rr", rq_policy="fcfs",
+                       steal_policy="first", core_bypass=False)
+    failures = []
+    for faulted in (False, True):
+        sim = ClusterSimulation(explicit, social_network_app("Text"),
+                                rps_per_server=RPS, n_servers=1,
+                                duration_s=DURATION_S, seed=SEED)
+        if faulted:
+            sim.install_faults(_schedule(), ResilienceConfig(
+                timeout_ns=600_000.0, max_retries=3,
+                hedge_delay_ns=1_000_000.0))
+        got = sim.run().as_dict()
+        want = _run(faulted=faulted)[1].as_dict()
+        if got != want:
+            mode = "faulted" if faulted else "clean"
+            failures.append(f"explicit default policies diverge from "
+                            f"implicit defaults ({mode} run)")
+    return failures
+
+
 def main() -> int:
     """Entry point; returns the process exit code."""
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -159,7 +187,7 @@ def main() -> int:
     doc = json.loads(BASELINE_PATH.read_text())
     base = doc["baseline"]
     tol = doc["tolerance"]["overhead_ratio_regression"]
-    failures = runner_equivalence()
+    failures = runner_equivalence() + policy_equivalence()
     limit = base["overhead_ratio"] * (1.0 + tol)
     if measured["overhead_ratio"] > limit:
         failures.append(

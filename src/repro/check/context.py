@@ -74,6 +74,13 @@ class NullCheckContext:
     def rq_purge(self, rq) -> None:
         """The queue is about to be wiped (village failure)."""
 
+    # --- scheduling policies
+    def rq_steal(self, village, rec) -> None:
+        """``village`` stole a READY entry from a peer's queue."""
+
+    def core_bypass(self, village, rec) -> None:
+        """An arrival skipped the scheduler onto an idle core."""
+
     # --- NICs / ServiceMap
     def nic_dispatch(self, nic, service: str, village: int) -> None:
         """The ServiceMap picked ``village`` for ``service``."""
@@ -215,6 +222,8 @@ class CheckContext(NullCheckContext):
         self._msg_count = 0
         self._last_msg_id = -1
         self._nic_rejects = 0
+        self._steals_seen = 0
+        self._bypasses_seen = 0
         self._finalized = False
 
     # ------------------------------------------------------------ reporting
@@ -405,6 +414,38 @@ class CheckContext(NullCheckContext):
                 dropped += 1
         led.purged += dropped
         self._rq_cheap(rq, led)
+
+    # -------------------------------------------------- scheduling policies
+
+    def rq_steal(self, village, rec) -> None:
+        self.stats.checks += 1
+        self._steals_seen += 1
+        from repro.core.request import RequestStatus
+
+        if rec.status is not RequestStatus.RUNNING:
+            self.violation(
+                "steal", f"stolen entry {rec.req_id} not RUNNING "
+                f"({rec.status})", where=village.name,
+                time_ns=village.engine.now)
+        if rec.village == village.village_id:
+            self.violation(
+                "steal", f"entry {rec.req_id} 'stolen' from its own "
+                f"village", where=village.name, time_ns=village.engine.now)
+
+    def core_bypass(self, village, rec) -> None:
+        self.stats.checks += 1
+        self._bypasses_seen += 1
+        from repro.core.request import RequestStatus
+
+        if rec.status is not RequestStatus.RUNNING:
+            self.violation(
+                "bypass", f"bypassed entry {rec.req_id} not RUNNING "
+                f"({rec.status})", where=village.name,
+                time_ns=village.engine.now)
+        if rec.village != village.village_id:
+            self.violation(
+                "bypass", f"entry {rec.req_id} bypassed onto a foreign "
+                f"village", where=village.name, time_ns=village.engine.now)
 
     # ----------------------------------------------------------------- NICs
 
@@ -635,6 +676,19 @@ class CheckContext(NullCheckContext):
                 self.violation(
                     "faults", f"injector applied {injector.injected} "
                     f"events but the checker saw {self._faults_applied}")
+        # Policy counters are increment-only: the village counters must
+        # match the hook counts exactly, faulted or not.
+        steals = sum(v.steals for s in sim.servers for v in s.villages)
+        bypasses = sum(v.bypasses for s in sim.servers for v in s.villages)
+        self.stats.checks += 2
+        if steals != self._steals_seen:
+            self.violation(
+                "conservation", f"village steal counters {steals} != "
+                f"steal hooks seen {self._steals_seen}", where="cluster")
+        if bypasses != self._bypasses_seen:
+            self.violation(
+                "conservation", f"village bypass counters {bypasses} != "
+                f"bypass hooks seen {self._bypasses_seen}", where="cluster")
         if drained and not faulted and not purged_anywhere:
             self._finalize_fault_free(sim)
         tracer = getattr(sim, "tracer", None)

@@ -31,6 +31,12 @@ APP_NAMES = ("Text", "User", "HomeT", "exponential")
 LOADS = (4_000.0, 8_000.0, 16_000.0)
 DURATIONS_S = (0.002, 0.004)
 FAULT_RATES = (200.0, 1_000.0)
+#: Scheduling-policy axes (repro.sched); "off" on the steal axis means
+#: work stealing disabled, any other value enables it with that victim
+#: policy.
+DISPATCHES = ("rr", "least", "affinity")
+RQ_POLICIES = ("fcfs", "srpt", "sjf", "edf")
+STEALS = ("off", "first", "maxload")
 
 
 @dataclass(frozen=True)
@@ -46,6 +52,10 @@ class Trial:
     arrivals: str = "poisson"
     fault_rate: float = 0.0        # random failures/s (0 = fault-free)
     trace: bool = True             # also run the span-tree checks
+    dispatch: str = "rr"           # NIC->village policy
+    rq_policy: str = "fcfs"        # intra-village dequeue order
+    steal: str = "off"             # "off" or a steal-victim policy
+    core_bypass: bool = False      # nanoPU-style fast path
 
     def describe(self) -> str:
         """One-line repro of this trial — valid ``Trial(...)`` syntax, so
@@ -59,6 +69,14 @@ class Trial:
             parts.append(f"fault_rate={self.fault_rate:g}")
         if not self.trace:
             parts.append("trace=False")
+        if self.dispatch != "rr":
+            parts.append(f"dispatch={self.dispatch!r}")
+        if self.rq_policy != "fcfs":
+            parts.append(f"rq_policy={self.rq_policy!r}")
+        if self.steal != "off":
+            parts.append(f"steal={self.steal!r}")
+        if self.core_bypass:
+            parts.append("core_bypass=True")
         return "Trial(" + ", ".join(parts) + ")"
 
 
@@ -75,6 +93,22 @@ def _config(name: str):
     if name == "serverclass":
         return SERVERCLASS
     raise KeyError(f"unknown trial config {name!r}")
+
+
+def _trial_config(trial: Trial):
+    """The trial's reduced config with its policy axes folded in."""
+    cfg = _config(trial.config)
+    overrides = {}
+    if trial.dispatch != cfg.dispatch:
+        overrides["dispatch"] = trial.dispatch
+    if trial.rq_policy != cfg.rq_policy:
+        overrides["rq_policy"] = trial.rq_policy
+    if trial.steal != "off":
+        overrides["work_steal"] = True
+        overrides["steal_policy"] = trial.steal
+    if trial.core_bypass:
+        overrides["core_bypass"] = True
+    return replace(cfg, **overrides) if overrides else cfg
 
 
 def _app(name: str):
@@ -99,7 +133,7 @@ def run_trial(trial: Trial) -> CheckContext:
     check = CheckContext(strict=False)
     tracer = Tracer() if trial.trace else None
     sim = ClusterSimulation(
-        _config(trial.config), _app(trial.app), rps_per_server=trial.rps,
+        _trial_config(trial), _app(trial.app), rps_per_server=trial.rps,
         n_servers=trial.n_servers, duration_s=trial.duration_s,
         seed=trial.seed, arrivals=trial.arrivals, tracer=tracer,
         check=check)
@@ -135,7 +169,11 @@ def draw_trial(rng: np.random.Generator,
         arrivals=str(rng.choice(("poisson", "bursty"))),
         fault_rate=float(rng.choice(FAULT_RATES))
         if float(rng.random()) < fault_fraction else 0.0,
-        trace=bool(rng.random() < 0.5))
+        trace=bool(rng.random() < 0.5),
+        dispatch=str(rng.choice(DISPATCHES)),
+        rq_policy=str(rng.choice(RQ_POLICIES)),
+        steal=str(rng.choice(STEALS)),
+        core_bypass=bool(rng.random() < 0.25))
 
 
 ProgressFn = Callable[[int, Trial, CheckContext], None]
@@ -194,6 +232,8 @@ def shrink(trial: Trial,
 
     stages = [
         lambda t: replace(t, fault_rate=0.0),
+        lambda t: replace(t, dispatch="rr", rq_policy="fcfs",
+                          steal="off", core_bypass=False),
         lambda t: replace(t, trace=False),
         lambda t: replace(t, duration_s=t.duration_s / 2),
         lambda t: replace(t, duration_s=t.duration_s / 2),

@@ -40,7 +40,7 @@ SYSTEMS = {
 EXPERIMENTS = [
     "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
     "fig09", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-    "figF", "sec68", "power", "all",
+    "figF", "figS", "sec68", "power", "all",
 ]
 
 
@@ -105,10 +105,38 @@ def _fault_setup(args, sim):
     return sched, resilience
 
 
+def _policy_overrides(args) -> dict:
+    """Translate the scheduling flags into SystemConfig field overrides.
+
+    Flags left at their defaults contribute nothing, so a run without
+    them uses the configs untouched (byte-identical to before the
+    policy layer existed)."""
+    kw = {}
+    if getattr(args, "dispatch", None) is not None:
+        kw["dispatch"] = args.dispatch
+    if getattr(args, "rq_policy", None) is not None:
+        kw["rq_policy"] = args.rq_policy
+    steal = getattr(args, "steal", None)
+    if steal is not None:
+        kw["work_steal"] = steal != "off"
+        if steal != "off":
+            kw["steal_policy"] = steal
+    if getattr(args, "core_bypass", False):
+        kw["core_bypass"] = True
+    return kw
+
+
+def _apply_policy_overrides(config, args):
+    from dataclasses import replace
+
+    kw = _policy_overrides(args)
+    return replace(config, **kw) if kw else config
+
+
 def _run_simulation(args, tracer=None, metrics_interval_ns=None):
     from repro.systems.cluster import ClusterSimulation
 
-    config = SYSTEMS[args.system]
+    config = _apply_policy_overrides(SYSTEMS[args.system], args)
     app = _resolve_app(args.app)
     check = None
     if getattr(args, "check", False):
@@ -234,7 +262,8 @@ def cmd_sweep(args) -> None:
     from repro.runner import ResultCache, SweepSpec, run_points
 
     spec = SweepSpec(
-        configs=tuple(SYSTEMS[s.strip()] for s in args.systems.split(",")),
+        configs=tuple(_apply_policy_overrides(SYSTEMS[s.strip()], args)
+                      for s in args.systems.split(",")),
         apps=tuple(_resolve_app(a.strip()) for a in args.apps.split(",")),
         loads=tuple(float(x) for x in args.loads.split(",")),
         seeds=tuple(int(x) for x in args.seeds.split(",")),
@@ -285,10 +314,15 @@ def cmd_experiment(args) -> None:
         "fig15": "fig15_breakdown", "fig16": "fig16_avg_latency",
         "fig17": "fig17_tail_to_avg", "fig18": "fig18_throughput",
         "fig19": "fig19_sensitivity", "fig20": "fig20_synthetic",
-        "figF": "figF_faults",
+        "figF": "figF_faults", "figS": "figS_policies",
         "sec68": "sec68_iso_area", "power": "power_area",
         "all": "run_all",
     }
+    overrides = _policy_overrides(args)
+    if overrides:
+        from repro.experiments.common import set_policy_overrides
+
+        set_policy_overrides(**overrides)
     module = importlib.import_module(f"repro.experiments.{mapping[args.id]}")
     if args.id == "all":
         module.main(jobs=args.jobs, use_cache=not args.no_cache,
@@ -352,6 +386,13 @@ def cmd_list(args) -> None:
         print(f"  {name:10s} root={app.root}, "
               f"{app.mean_rpc_count():.0f} RPCs/request")
     print(f"  + synthetic: {', '.join(SYNTHETIC_DISTRIBUTIONS)}")
+    from repro.sched import DISPATCH_NAMES, POLICY_NAMES, STEAL_NAMES
+
+    print("\nscheduling policies (repro.sched):")
+    print(f"  --dispatch : {', '.join(DISPATCH_NAMES)}")
+    print(f"  --rq-policy: {', '.join(POLICY_NAMES)}")
+    print(f"  --steal    : off, {', '.join(STEAL_NAMES)}")
+    print("  --core-bypass")
     print("\nexperiments:", ", ".join(EXPERIMENTS))
 
 
@@ -376,6 +417,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--check", action="store_true",
                        help="run under the invariant sanitizer "
                             "(repro.check); any violation aborts the run")
+
+    def add_policy_args(p) -> None:
+        from repro.sched import DISPATCH_NAMES, POLICY_NAMES, STEAL_NAMES
+
+        g = p.add_argument_group(
+            "scheduling", "pluggable policy layer (repro.sched); the "
+                          "defaults reproduce the paper's hardware")
+        g.add_argument("--dispatch", choices=DISPATCH_NAMES, default=None,
+                       help="NIC-to-village dispatch policy (default rr)")
+        g.add_argument("--rq-policy", dest="rq_policy",
+                       choices=POLICY_NAMES, default=None,
+                       help="intra-village dequeue order (default fcfs)")
+        g.add_argument("--steal", choices=("off",) + STEAL_NAMES,
+                       default=None,
+                       help="inter-village work stealing: off or a "
+                            "victim-selection policy (default off)")
+        g.add_argument("--core-bypass", action="store_true",
+                       help="nanoPU-style fast path: arrivals land "
+                            "straight on an idle core when possible")
 
     def add_fault_args(p, default_rate: float = 0.0) -> None:
         g = p.add_argument_group(
@@ -417,6 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim = sub.add_parser("simulate", help="run one cluster simulation")
     add_run_args(sim)
+    add_policy_args(sim)
     add_fault_args(sim)
     sim.add_argument("--trace-out", metavar="FILE", default=None,
                      help="also trace the run and write a Chrome "
@@ -426,6 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
     tr = sub.add_parser(
         "trace", help="run one traced simulation and export the spans")
     add_run_args(tr)
+    add_policy_args(tr)
     add_fault_args(tr)
     tr.add_argument("--out", required=True, metavar="FILE",
                     help="Chrome trace-event JSON output path "
@@ -441,6 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
         "faults", help="run a fault-injection experiment and report "
                        "availability, goodput and resilience counters")
     add_run_args(flt)
+    add_policy_args(flt)
     add_fault_args(flt, default_rate=200.0)
     flt.add_argument("--quiet-schedule", dest="describe_faults",
                      action="store_false", default=True,
@@ -475,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "(implies --no-cache; violations abort)")
     swp.add_argument("--json", action="store_true",
                      help="print the results as a JSON array")
+    add_policy_args(swp)
     swp.set_defaults(func=cmd_sweep)
 
     exp = sub.add_parser(
@@ -489,6 +553,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--check", action="store_true",
                      help="run every simulation point under the "
                           "invariant sanitizer (implies --no-cache)")
+    add_policy_args(exp)
     exp.set_defaults(func=cmd_experiment)
 
     val = sub.add_parser(

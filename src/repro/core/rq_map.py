@@ -31,7 +31,8 @@ class PartitionedRequestQueue:
     """
 
     def __init__(self, capacity: int, shares: Dict[str, float],
-                 name: str = "", policy: Optional[object] = None):
+                 name: str = "", policy: Optional[object] = None,
+                 policies: Optional[Dict[str, object]] = None):
         if capacity < len(shares):
             raise ValueError("capacity smaller than the number of partitions")
         if not shares:
@@ -50,10 +51,21 @@ class PartitionedRequestQueue:
             else:
                 part_capacity = max(1, int(capacity * share / total_share))
             remaining -= part_capacity
+            # ``policies`` overrides the shared policy per partition (each
+            # service may order its own queue differently).
+            part_policy = policy
+            if policies is not None and service in policies:
+                part_policy = policies[service]
             self._partitions[service] = RequestQueue(
-                part_capacity, name=f"{name}.{service}", policy=policy)
+                part_capacity, name=f"{name}.{service}", policy=part_policy)
         self.rejected = 0
         self._seq = 0          # global arrival order across partitions
+        # When every partition ranks by the same non-FCFS policy, the
+        # unpartitioned dequeue compares heap keys across partitions;
+        # FCFS (or mixed policies) keeps global arrival order.
+        policy_names = {q.policy.name for q in self._partitions.values()}
+        self._uniform_policy = (policy_names.pop()
+                                if len(policy_names) == 1 else None)
 
     def set_clock(self, clock) -> None:
         """Attach a time source to every partition (RQ-wait telemetry)."""
@@ -88,6 +100,10 @@ class PartitionedRequestQueue:
     def is_full(self) -> bool:
         return all(q.is_full for q in self._partitions.values())
 
+    @property
+    def soft_entries(self) -> int:
+        return sum(q.soft_entries for q in self._partitions.values())
+
     def enqueue(self, rec: RequestRecord) -> bool:
         ok = self.partition(rec.service).enqueue(rec)
         if ok:
@@ -97,10 +113,24 @@ class PartitionedRequestQueue:
             self.rejected += 1
         return ok
 
+    def soft_enqueue(self, rec: RequestRecord) -> None:
+        """Admit an internal request via NIC buffering (no slot held)."""
+        self.partition(rec.service).soft_enqueue(rec)
+        rec._prq_seq = self._seq
+        self._seq += 1
+
+    def observe(self, service: str, duration_ns: float) -> None:
+        """Feed a measured segment time to the partition's policy (SJF)."""
+        fn = getattr(self.partition(service).policy, "observe", None)
+        if fn is not None:
+            fn(service, duration_ns)
+
     def dequeue(self, service: Optional[str] = None
                 ) -> Optional[RequestRecord]:
         if service is not None:
             return self.partition(service).dequeue()
+        if self._uniform_policy not in (None, "fcfs"):
+            return self._dequeue_best_key()
         # Unpartitioned core: serve the globally oldest ready entry.
         best: Optional[RequestQueue] = None
         best_seq = None
@@ -113,6 +143,24 @@ class PartitionedRequestQueue:
                 seq = q._ready_heap[0][2]._prq_seq
                 if best_seq is None or seq < best_seq:
                     best, best_seq = q, seq
+        return best.dequeue() if best is not None else None
+
+    def _dequeue_best_key(self) -> Optional[RequestRecord]:
+        """Unpartitioned dequeue under a uniform non-FCFS policy: take
+        the globally best (policy key, req_id) across partition heaps.
+        The trailing per-partition sequence in each key is not globally
+        meaningful, but the comparison stays deterministic (req_id is
+        the final tie-break)."""
+        best: Optional[RequestQueue] = None
+        best_key = None
+        for q in self._partitions.values():
+            while q._ready_heap and \
+                    q._ready_heap[0][2].status is not RequestStatus.READY:
+                heapq.heappop(q._ready_heap)
+            if q._ready_heap:
+                key = q._ready_heap[0][:2]
+                if best_key is None or key < best_key:
+                    best, best_key = q, key
         return best.dequeue() if best is not None else None
 
     def has_ready(self, service: Optional[str] = None) -> bool:

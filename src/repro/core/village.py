@@ -51,6 +51,8 @@ class Village:
                  rq_policy: Optional[object] = None,
                  rq: Optional[object] = None,
                  core_borrowing: bool = False,
+                 steal_policy: Optional[object] = None,
+                 core_bypass: bool = False,
                  name: str = ""):
         if n_cores < 1:
             raise ValueError("a village needs at least one core")
@@ -68,15 +70,32 @@ class Village:
         #: Section 8: a co-located instance may temporarily borrow cores
         #: assigned to another instance when its own queue backs up.
         self.core_borrowing = core_borrowing
+        #: nanoPU-style fast path: an arriving request may skip the
+        #: queue/scheduler machinery and start on an idle core at once
+        #: (it still takes an RQ slot, so conservation is untouched).
+        self.core_bypass = core_bypass
         self.cores = [Core(core_id=i, village_id=village_id)
                       for i in range(n_cores)]
         self.steal_from = steal_from or []
         #: Villages that may steal from this one; notified when work backs
         #: up here so their idle cores can come and take it.
         self.stealers: List["Village"] = []
+        if steal_policy is None:
+            from repro.sched.stealing import FIRST_STEAL
+
+            steal_policy = FIRST_STEAL
+        self.steal_policy = steal_policy
         self.steal_overhead_ns = steal_overhead_ns
+        # Measured-service-time feedback for the dequeue policy (SJF):
+        # the RQ (or its policy) may expose ``observe(service, ns)``.
+        observe = getattr(self.rq, "observe", None)
+        if observe is None:
+            observe = getattr(getattr(self.rq, "policy", None),
+                              "observe", None)
+        self._observe_segment = observe
         self.completed = 0
         self.steals = 0
+        self.bypasses = 0
         #: Fault state.  A failed village blackholes: it acks submissions
         #: (the sender cannot tell yet — that is the detection lag) but
         #: drops them; its RQ is purged on failure.  ``degrade_factor``
@@ -111,6 +130,8 @@ class Village:
             # Timeout/retry at the RPC layer is what rescues it.
             self.blackholed += 1
             rec.village = self.village_id
+            return True
+        if self.core_bypass and self._try_bypass(rec):
             return True
         if not self.rq.enqueue(rec):
             return False
@@ -155,6 +176,52 @@ class Village:
 
         self.scheduler.scheduler_op(ready, rec=rec)
 
+    def _try_bypass(self, rec: RequestRecord) -> bool:
+        """nanoPU-style core bypass: land the request straight on an
+        idle core, skipping the scheduler round-trip.
+
+        The request still claims a normal RQ slot and is immediately
+        dequeued, so every queue/conservation invariant holds unchanged;
+        what it skips is the scheduler op (queueing + jitter on software
+        schedulers) between enqueue and first execution.  Requires an
+        idle core that may serve the request's service AND no older
+        READY work that core should take first (no queue jumping) AND a
+        free slot; otherwise the caller falls back to normal dispatch.
+        """
+        if self.rq.is_full:
+            return False
+        core = None
+        for c in self.cores:
+            if not c.busy and not c.failed and \
+                    (c.service is None or c.service == rec.service):
+                core = c
+                break
+        if core is None:
+            return False
+        if self.rq.has_ready(core.service):
+            return False
+        self.rq.enqueue(rec)            # cannot fail: is_full was checked
+        rec.village = self.village_id
+        rec._owner_village = self
+        rec._enqueue_ns = self.engine.now
+        got = self.rq.dequeue(core.service)
+        if got is not rec:              # pragma: no cover - invariant
+            raise RuntimeError("core bypass dequeued a different entry")
+        core.busy = True
+        core.requests_run += 1
+        rec._first_dispatch_ns = self.engine.now
+        rec.queue_wait_ns = 0.0
+        self.bypasses += 1
+        check = self.engine.check
+        if check.enabled:
+            check.core_bypass(self, rec)
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.span("core_bypass", self.name, self.engine.now,
+                        self.engine.now, rec=rec, track=self.name)
+        self._execute(core, rec)
+        return True
+
     # ----------------------------------------------------------- dispatch
 
     def _kick(self) -> None:
@@ -176,11 +243,9 @@ class Village:
             # The core's own service is idle: serve a co-located one.
             rec = self.rq.dequeue(None)
         if rec is None and self.steal_from:
-            for other in self.steal_from:
-                rec = other.rq.dequeue(core.service)
-                if rec is not None:
-                    self.steals += 1
-                    break
+            rec = self.steal_policy.steal(self, core)
+            if rec is not None:
+                self.steals += 1
         if rec is None:
             return False
         core.busy = True
@@ -197,6 +262,14 @@ class Village:
                 rec, "_ready_since_ns", self.engine.now), self.engine.now,
                 rec=rec, track=self.name)
         stolen = rec.village != self.village_id
+        if stolen:
+            check = self.engine.check
+            if check.enabled:
+                check.rq_steal(self, rec)
+            if tracer.enabled:
+                tracer.span("steal", self.name, self.engine.now,
+                            self.engine.now + self.steal_overhead_ns,
+                            rec=rec, track=self.name)
 
         def start():
             if rec.has_run:
@@ -217,6 +290,8 @@ class Village:
         duration = self.executor.segment_time_ns(rec, core)
         if self.degrade_factor != 1.0:       # gray failure: slow node
             duration *= self.degrade_factor
+        if self._observe_segment is not None:
+            self._observe_segment(rec.service, duration)
         rec.last_core = (self.village_id, core.core_id)
         rec.has_run = True
         core.busy_ns += duration

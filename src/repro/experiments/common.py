@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
@@ -18,6 +18,20 @@ APP_ORDER = ["Text", "SGraph", "User", "PstStr", "UsrMnt", "HomeT",
 
 #: The three load levels of Section 5 (RPS per server).
 PAPER_LOADS = (5000, 10000, 15000)
+
+#: Scheduling-policy config overrides folded into every point built by
+#: :func:`point_for` (the ``repro experiment --dispatch/...`` flags).
+#: Empty by default, so figure tables stay byte-identical.
+_POLICY_OVERRIDES: Dict[str, object] = {}
+
+
+def set_policy_overrides(**overrides) -> None:
+    """Install :class:`SystemConfig` field overrides (``dispatch``,
+    ``rq_policy``, ``work_steal``, ``steal_policy``, ``core_bypass``)
+    applied to every subsequently built point; call with no arguments
+    to clear them."""
+    _POLICY_OVERRIDES.clear()
+    _POLICY_OVERRIDES.update(overrides)
 
 
 @dataclass(frozen=True)
@@ -51,6 +65,8 @@ def point_for(config: SystemConfig, app: AppSpec, rps: float,
         A :class:`~repro.runner.point.SweepPoint` ready for
         :func:`~repro.runner.run_points`.
     """
+    if _POLICY_OVERRIDES:
+        config = replace(config, **_POLICY_OVERRIDES)
     return SweepPoint(config=config, app=app, rps=float(rps),
                       n_servers=settings.n_servers,
                       duration_s=settings.duration_s, seed=settings.seed,

@@ -37,6 +37,7 @@ from repro.experiments import (
     fig18_throughput,
     fig19_sensitivity,
     fig20_synthetic,
+    figS_policies,
     power_area,
     sec68_iso_area,
 )
@@ -61,6 +62,8 @@ SECTIONS = [
     ("Figure 20", fig20_synthetic.main),
     ("Section 6.8", sec68_iso_area.main),
     ("Power & area", power_area.main),
+    # Appended last so earlier sections' output stays a stable prefix.
+    ("Figure S (policies)", figS_policies.main),
 ]
 
 
@@ -78,7 +81,8 @@ def _run_section(title, runner, settings) -> None:
         fig16_avg_latency.main(settings=settings, progress=False)
         fig17_tail_to_avg.main(settings=settings, progress=False)
     elif runner in (fig15_breakdown.main, fig19_sensitivity.main,
-                    fig20_synthetic.main, sec68_iso_area.main):
+                    fig20_synthetic.main, sec68_iso_area.main,
+                    figS_policies.main):
         runner(settings=settings)
     else:
         runner()

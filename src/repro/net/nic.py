@@ -124,8 +124,9 @@ class TopLevelNic:
     def __init__(self, engine: Engine, config: Optional[NicConfig] = None,
                  buffer_capacity: int = 256, name: str = "top-nic",
                  dispatch: str = "rr", rng=None):
-        if dispatch not in ("rr", "random"):
-            raise ValueError(f"unknown dispatch mode {dispatch!r}")
+        from repro.sched.dispatch import get_dispatch_policy
+
+        self._dispatch_policy = get_dispatch_policy(dispatch)
         if dispatch == "random" and rng is None:
             raise ValueError("random dispatch needs an rng")
         self.engine = engine
@@ -133,9 +134,12 @@ class TopLevelNic:
         self.name = name
         self.dispatch = dispatch
         self.rng = rng
+        #: Village-id -> RQ occupancy hook, wired by the server once its
+        #: villages exist; occupancy-aware dispatch policies need it and
+        #: pick_village raises if one runs without it.
+        self.occupancy_of = None
         self.buffer_capacity = buffer_capacity
         self._service_map: Dict[str, List[int]] = {}
-        self._rr: Dict[str, int] = {}
         self._buffer: deque = deque()
         self._port = Resource(engine, capacity=2, name=f"{name}.port")
         self.dispatched = 0
@@ -178,8 +182,8 @@ class TopLevelNic:
 
     def pick_village(self, service: str,
                      exclude: Optional[int] = None) -> int:
-        """Pick a hosting village: round-robin (the Section 4.2 hardware)
-        or uniformly random (the Figure 3 queue study's assignment).
+        """Pick a hosting village via the configured dispatch policy
+        (round-robin by default — the Section 4.2 hardware).
 
         Villages marked down by the health checker are skipped; raises
         KeyError when no healthy instance remains.  ``exclude`` biases
@@ -201,23 +205,12 @@ class TopLevelNic:
         else:
             candidates = healthy
         self.dispatched += 1
-        if self.dispatch == "random":
-            village = candidates[int(self.rng.integers(len(candidates)))]
-        else:
-            # Round-robin keyed on the *unfiltered* instance list: the
-            # pointer advances one registered instance per dispatch and
-            # unhealthy/excluded entries are skipped in place, so a
-            # village going down (or coming back) never shifts which
-            # instance the surviving rotation hands to everyone else.
-            n = len(villages)
-            ptr = self._rr.get(service, 0) % n
-            village = candidates[0]
-            for i in range(n):
-                v = villages[(ptr + i) % n]
-                if v in candidates:
-                    village = v
-                    self._rr[service] = (ptr + i + 1) % n
-                    break
+        policy = self._dispatch_policy
+        if policy.needs_occupancy and self.occupancy_of is None:
+            raise RuntimeError(
+                f"dispatch policy {policy.name!r} needs the NIC "
+                f"occupancy_of hook (wired by the server)")
+        village = policy.choose(self, service, villages, candidates)
         check = self.engine.check
         if check.enabled:
             check.nic_dispatch(self, service, village)

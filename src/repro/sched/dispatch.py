@@ -1,0 +1,155 @@
+"""NIC-to-village dispatch policies (the ServiceMap decision point).
+
+The top-level NIC's ServiceMap maps a service to the villages hosting
+an instance; a :class:`DispatchPolicy` decides *which* of them receives
+the next request.  The hardware default is round-robin (Section 4.2);
+the Figure 3 queue study uses uniformly-random assignment.  Two further
+policies implement the load- and locality-aware ideas of the related
+work (nanoPU / Affinity Tailor): least-occupancy joins the shortest RQ,
+and affinity pins a service to its first instance, spilling to the
+least-loaded alternative only when that home village backs up.
+
+``choose`` receives the *unfiltered* registered instance list (the
+round-robin pointer is keyed on it so health transitions never shift
+the rotation for everyone else) plus the pre-filtered healthy/excluded
+candidate list, and must return one of the candidates.  Policies are
+deterministic: any tie falls back to candidate-list order, which is
+registration order.
+
+Occupancy-aware policies read village RQ depth through the NIC's
+``occupancy_of`` hook (wired by :class:`repro.systems.server.Server`);
+a NIC without the hook cannot run them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class DispatchPolicy:
+    """Base: pick one hosting village for an arriving request."""
+
+    name = "base"
+    #: Policies that rank candidates by RQ depth need the NIC's
+    #: ``occupancy_of`` hook; declared so construction can fail early.
+    needs_occupancy = False
+
+    def choose(self, nic, service: str, villages: List[int],
+               candidates: List[int]) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinDispatch(DispatchPolicy):
+    """The Section 4.2 hardware: one rotation per service.
+
+    The pointer advances one registered instance per dispatch and
+    unhealthy/excluded entries are skipped in place, so a village going
+    down (or coming back) never shifts which instance the surviving
+    rotation hands to everyone else.
+    """
+
+    name = "rr"
+
+    def __init__(self):
+        self._rr: Dict[str, int] = {}
+
+    def choose(self, nic, service: str, villages: List[int],
+               candidates: List[int]) -> int:
+        n = len(villages)
+        ptr = self._rr.get(service, 0) % n
+        village = candidates[0]
+        for i in range(n):
+            v = villages[(ptr + i) % n]
+            if v in candidates:
+                village = v
+                self._rr[service] = (ptr + i + 1) % n
+                break
+        return village
+
+
+class RandomDispatch(DispatchPolicy):
+    """Uniformly-random assignment (the Figure 3 queue study)."""
+
+    name = "random"
+
+    def choose(self, nic, service: str, villages: List[int],
+               candidates: List[int]) -> int:
+        return candidates[int(nic.rng.integers(len(candidates)))]
+
+
+class LeastOccupancyDispatch(DispatchPolicy):
+    """Join the shortest queue: the candidate with the fewest RQ
+    entries wins; ties resolve to the earliest-registered instance."""
+
+    name = "least"
+    needs_occupancy = True
+
+    def choose(self, nic, service: str, villages: List[int],
+               candidates: List[int]) -> int:
+        occupancy = nic.occupancy_of
+        best = candidates[0]
+        best_occ = occupancy(best)
+        for v in candidates[1:]:
+            occ = occupancy(v)
+            if occ < best_occ:
+                best, best_occ = v, occ
+        return best
+
+
+class AffinityDispatch(DispatchPolicy):
+    """Service-to-village affinity with load-based spill.
+
+    Every service has a *home* village — its first registered instance
+    — and keeps landing there (warm caches, resident state) until the
+    home RQ holds more than ``spill_margin`` entries above the least
+    loaded candidate; then the request spills to that least-loaded
+    village instead, exactly the Affinity Tailor trade of locality
+    against queueing imbalance.
+    """
+
+    name = "affinity"
+    needs_occupancy = True
+
+    def __init__(self, spill_margin: int = 4):
+        if spill_margin < 0:
+            raise ValueError("spill_margin must be >= 0")
+        self.spill_margin = spill_margin
+        self.spills = 0
+
+    def choose(self, nic, service: str, villages: List[int],
+               candidates: List[int]) -> int:
+        occupancy = nic.occupancy_of
+        least = candidates[0]
+        least_occ = occupancy(least)
+        for v in candidates[1:]:
+            occ = occupancy(v)
+            if occ < least_occ:
+                least, least_occ = v, occ
+        home = villages[0]
+        if home not in candidates:
+            return least          # home is down/excluded: pure spill
+        if occupancy(home) - least_occ > self.spill_margin:
+            self.spills += 1
+            return least
+        return home
+
+
+#: name -> zero-arg factory; every policy carries (or may grow) per-NIC
+#: state, so each NIC gets a fresh instance.
+DISPATCH_FACTORIES = {
+    "rr": RoundRobinDispatch,
+    "random": RandomDispatch,
+    "least": LeastOccupancyDispatch,
+    "affinity": AffinityDispatch,
+}
+
+#: The registered policy names (the CLI's ``--dispatch`` choices).
+DISPATCH_NAMES = tuple(sorted(DISPATCH_FACTORIES))
+
+
+def get_dispatch_policy(name: str) -> DispatchPolicy:
+    try:
+        return DISPATCH_FACTORIES[name]()
+    except KeyError:
+        raise ValueError(f"unknown dispatch policy {name!r}; "
+                         f"known: {sorted(DISPATCH_FACTORIES)}") from None

@@ -50,6 +50,10 @@ class RunResult:
     #: Fault-injection and resilience counters; None in fault-free runs
     #: (keeps ``as_dict`` byte-identical to the pre-fault simulator).
     fault_stats: Optional[dict] = None
+    #: Scheduling-policy counters (steals, bypasses, dispatch spills);
+    #: None under the default policies so default output stays
+    #: byte-identical to the pre-policy-layer simulator.
+    sched_stats: Optional[dict] = None
 
     @property
     def throughput_rps(self) -> float:
@@ -107,6 +111,8 @@ class RunResult:
             d["availability"] = self.availability
             d["goodput_rps"] = self.goodput_rps
             d["faults"] = self.fault_stats
+        if self.sched_stats is not None:
+            d["sched"] = self.sched_stats
         return d
 
 
@@ -287,7 +293,31 @@ class ClusterSimulation:
             completed=len(self.recorder), rejected=self.rejected,
             offered=self.offered, tracer=self.tracer, metrics=self.metrics,
             warmup_ns=warmup_ns, failed=self.failed,
-            fault_stats=fault_stats)
+            fault_stats=fault_stats, sched_stats=self._sched_stats())
+
+    def _sched_stats(self) -> Optional[dict]:
+        """Policy-layer counters; None for default-policy runs (keeps
+        their ``as_dict`` payload — including the legacy ``work_steal``
+        configs of Figure 3 — byte-identical to the pre-policy layer)."""
+        cfg = self.config
+        if not (cfg.core_bypass
+                or cfg.rq_policy != "fcfs"
+                or cfg.dispatch not in ("rr", "random")
+                or (cfg.work_steal and cfg.steal_policy != "first")):
+            return None
+        servers = self.servers
+        stats = {
+            "dispatch": cfg.dispatch,
+            "rq_policy": cfg.rq_policy,
+            "steal_policy": cfg.steal_policy if cfg.work_steal else "off",
+            "core_bypass": cfg.core_bypass,
+            "steals": sum(v.steals for s in servers for v in s.villages),
+            "bypasses": sum(v.bypasses for s in servers for v in s.villages),
+        }
+        if cfg.dispatch == "affinity":
+            stats["spills"] = sum(s.top_nic._dispatch_policy.spills
+                                  for s in servers)
+        return stats
 
     def _fault_stats(self) -> dict:
         """Aggregate resilience/fault counters across the cluster (also

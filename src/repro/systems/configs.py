@@ -61,8 +61,11 @@ class SystemConfig:
     # Force one scheduler instance per queue even when centralized (used
     # by the Figure 3 queue-granularity study to model per-queue locks).
     per_queue_scheduler: bool = False
-    dispatch: str = "rr"           # "rr" (ServiceMap) or "random" (Fig 3)
-    rq_policy: str = "fcfs"        # "fcfs" (Section 4.3) or "srpt"
+    # Pluggable scheduling (repro.sched): the three decision points.
+    dispatch: str = "rr"           # NIC->village: rr/random/least/affinity
+    rq_policy: str = "fcfs"        # intra-village: fcfs/srpt/sjf/edf
+    steal_policy: str = "first"    # victim choice when work_steal is on
+    core_bypass: bool = False      # nanoPU-style idle-core fast path
     # Section 8 / 4.1 extensions:
     big_core: object = None        # CoreConfig for "big" villages, or None
     big_village_fraction: float = 0.0
@@ -83,6 +86,21 @@ class SystemConfig:
         if self.big_village_fraction > 0 and self.big_core is None:
             raise ValueError(
                 f"{self.name}: big villages need a big_core config")
+        # Validate policy names against the repro.sched registries (lazy
+        # imports: repro.sched pulls in nothing from systems, but keep the
+        # module import graph acyclic and the error close to the typo).
+        from repro.sched.dispatch import DISPATCH_FACTORIES
+        from repro.sched.policies import POLICY_FACTORIES
+        from repro.sched.stealing import STEAL_POLICIES
+        if self.dispatch not in DISPATCH_FACTORIES:
+            raise ValueError(f"{self.name}: unknown dispatch policy "
+                             f"{self.dispatch!r}")
+        if self.rq_policy not in POLICY_FACTORIES:
+            raise ValueError(f"{self.name}: unknown RQ policy "
+                             f"{self.rq_policy!r}")
+        if self.steal_policy not in STEAL_POLICIES:
+            raise ValueError(f"{self.name}: unknown steal policy "
+                             f"{self.steal_policy!r}")
 
     @property
     def n_queues(self) -> int:

@@ -135,8 +135,10 @@ class Server:
             name=f"s{self.server_id}.sched", rng=self.rng) \
             if cfg.cs.centralized and not cfg.per_queue_scheduler else None
         from repro.sched.policies import get_policy
+        from repro.sched.stealing import get_steal_policy
 
         rq_policy = get_policy(cfg.rq_policy)
+        steal_policy = get_steal_policy(cfg.steal_policy)
         for v in range(cfg.n_queues):
             dom = shared_dom or SchedulerDomain(
                 self.engine, cfg.cs, cfg.core.freq_ghz,
@@ -145,6 +147,8 @@ class Server:
                               rq_capacity=rq_capacity,
                               steal_overhead_ns=200.0,
                               rq_policy=rq_policy,
+                              steal_policy=steal_policy,
+                              core_bypass=cfg.core_bypass,
                               name=f"s{self.server_id}.v{v}")
             self.villages.append(village)
             self.lnics.append(LNic(self.engine, nic_cfg,
@@ -164,6 +168,9 @@ class Server:
                 village.steal_from = others
                 for other in others:
                     other.stealers.append(village)
+        # Occupancy hook for load-aware dispatch policies (least/affinity).
+        self.top_nic.occupancy_of = \
+            lambda v: self.villages[v].rq.occupancy
         self.pools = [MemoryPool(self.engine, name=f"s{self.server_id}.pool{c}")
                       for c in range(cfg.n_clusters)]
 

@@ -150,6 +150,47 @@ def test_checked_faulted_run_has_zero_violations():
     assert check.ok, "\n".join(str(v) for v in check.violations)
 
 
+def test_checked_policy_run_has_zero_violations():
+    """Work stealing, core bypass and non-FCFS ordering all on at once:
+    the steal/bypass ledgers must balance under the sanitizer."""
+    from repro.check.harness import Trial, run_trial
+
+    check = run_trial(Trial(seed=11, rps=16_000.0, dispatch="least",
+                            rq_policy="sjf", steal="maxload",
+                            core_bypass=True))
+    assert check.ok, "\n".join(str(v) for v in check.violations)
+    assert check._bypasses_seen > 0      # the fast path actually fired
+
+
+def test_checked_policy_faulted_run_has_zero_violations():
+    from repro.check.harness import Trial, run_trial
+
+    check = run_trial(Trial(seed=11, rps=16_000.0, fault_rate=1000.0,
+                            dispatch="affinity", rq_policy="srpt",
+                            steal="first", core_bypass=True))
+    assert check.ok, "\n".join(str(v) for v in check.violations)
+
+
+def test_steal_and_bypass_ledgers_catch_drift():
+    """Village steal/bypass counters that drift from the observed hook
+    events must be flagged at finalize."""
+    from repro.systems.cluster import ClusterSimulation
+    from repro.workloads.deathstar import SOCIAL_NETWORK_APPS as APPS
+
+    check = CheckContext(strict=False)
+    sim = ClusterSimulation(SMALL, APPS["Text"], rps_per_server=4000,
+                            n_servers=1, duration_s=0.002, seed=1,
+                            check=check)
+    village = sim.servers[0].villages[0]
+    village.steals += 1          # drift with no matching rq_steal hook
+    village.bypasses += 1        # drift with no matching core_bypass hook
+    sim.run()
+    assert not check.ok
+    messages = [v.message for v in check.violations]
+    assert any("steal" in m for m in messages)
+    assert any("bypass" in m for m in messages)
+
+
 def test_check_does_not_perturb_the_simulation():
     """A checked run is byte-identical to an unchecked one."""
     plain = run().as_dict()

@@ -157,6 +157,60 @@ def test_validate_command_failure_shrinks_and_exits(monkeypatch, capsys):
     assert "shrunk to: Trial(" in out
 
 
+# -------------------------------------------------- scheduling policies
+
+def test_parser_policy_flags():
+    args = build_parser().parse_args(
+        ["simulate", "--system", "umanycore", "--dispatch", "least",
+         "--rq-policy", "sjf", "--steal", "maxload", "--core-bypass"])
+    assert args.dispatch == "least"
+    assert args.rq_policy == "sjf"
+    assert args.steal == "maxload"
+    assert args.core_bypass
+    # Defaults are None/False so unset flags never touch the config.
+    args = build_parser().parse_args(["sweep"])
+    assert args.dispatch is None and args.rq_policy is None
+    assert args.steal is None and not args.core_bypass
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["simulate", "--system", "umanycore",
+                                   "--dispatch", "hash"])
+
+
+def test_policy_overrides_mapping():
+    from repro.cli import _policy_overrides
+
+    parse = build_parser().parse_args
+    assert _policy_overrides(parse(["sweep"])) == {}
+    assert _policy_overrides(parse(["sweep", "--steal", "off"])) == \
+        {"work_steal": False}
+    assert _policy_overrides(parse(["sweep", "--steal", "maxload"])) == \
+        {"work_steal": True, "steal_policy": "maxload"}
+    assert _policy_overrides(parse(
+        ["sweep", "--dispatch", "affinity", "--rq-policy", "edf",
+         "--core-bypass"])) == \
+        {"dispatch": "affinity", "rq_policy": "edf", "core_bypass": True}
+
+
+def test_simulate_policy_flags_json_and_check(capsys):
+    main(["simulate", "--system", "umanycore", "--app", "UrlShort",
+          "--rps", "2000", "--servers", "1", "--duration", "0.008",
+          "--rq-policy", "srpt", "--steal", "maxload", "--core-bypass",
+          "--check", "--json"])
+    captured = capsys.readouterr()
+    doc = json.loads(captured.out)
+    assert doc["sched"]["rq_policy"] == "srpt"
+    assert doc["sched"]["steal_policy"] == "maxload"
+    assert doc["sched"]["core_bypass"]
+    assert "0 violations" in captured.err
+
+
+def test_list_includes_policies_and_figS(capsys):
+    main(["list"])
+    out = capsys.readouterr().out
+    assert "figS" in out
+    assert "least" in out and "maxload" in out and "edf" in out
+
+
 def test_sweep_command_caches_between_invocations(tmp_path, monkeypatch,
                                                   capsys):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

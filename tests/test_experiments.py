@@ -151,3 +151,41 @@ def test_power_area_runner():
 
     results = run()
     assert results["iso"]["iso_power_cores"] == 40
+
+
+def test_figS_runner_tiny():
+    from repro.experiments.figS_policies import COMBOS, run
+
+    tiny = Settings(n_servers=1, duration_s=0.004, seed=2)
+    results = run(tiny, loads=(8000,))
+    assert len(results) == len(COMBOS) * 2      # fault-free + faulted
+    base = results[("rr+fcfs", False, 8000)]
+    assert base.completed > 0 and base.sched_stats is None
+    steal = results[("rr+steal", False, 8000)]
+    assert steal.sched_stats["steal_policy"] == "maxload"
+    assert results[("affinity+fcfs", True, 8000)].availability <= 1.0
+
+
+def test_figS_bypass_runner_tiny():
+    from repro.experiments.figS_policies import run_bypass
+
+    tiny = Settings(n_servers=1, duration_s=0.004, seed=2)
+    results = run_bypass(tiny, loads=(4000,))
+    assert results[(False, 4000)].sched_stats is None
+    assert results[(True, 4000)].sched_stats["bypasses"] > 0
+
+
+def test_set_policy_overrides_folds_into_points():
+    from repro.experiments.common import point_for, set_policy_overrides
+    from repro.systems.configs import UMANYCORE
+    from repro.workloads.deathstar import social_network_app
+
+    app = social_network_app("Text")
+    try:
+        set_policy_overrides(dispatch="least", core_bypass=True)
+        p = point_for(UMANYCORE, app, 1000, QUICK)
+        assert p.config.dispatch == "least" and p.config.core_bypass
+    finally:
+        set_policy_overrides()
+    clean = point_for(UMANYCORE, app, 1000, QUICK)
+    assert clean.config is UMANYCORE    # no overrides -> untouched config

@@ -94,6 +94,94 @@ def test_validation():
         PartitionedRequestQueue(8, {"a": 0.0})
 
 
+# ------------------------------------------- non-FCFS dequeue policies
+
+def test_uniform_srpt_global_dequeue_serves_shortest():
+    from repro.sched import SRPT_POLICY
+
+    prq = PartitionedRequestQueue(16, {"a": 0.5, "b": 0.5},
+                                  policy=SRPT_POLICY)
+    long_a = rec("a", [9000.0])
+    short_b = rec("b", [10.0])
+    prq.enqueue(long_a)
+    prq.enqueue(short_b)
+    # Unpartitioned dequeue compares policy keys across partitions: the
+    # later-arriving but shorter request wins.
+    assert prq.dequeue() is short_b
+    assert prq.dequeue() is long_a
+
+
+def test_per_partition_policy_override():
+    from repro.sched import FCFS_POLICY, SRPT_POLICY
+
+    prq = PartitionedRequestQueue(16, {"a": 0.5, "b": 0.5},
+                                  policy=FCFS_POLICY,
+                                  policies={"b": SRPT_POLICY})
+    assert prq.partition("a").policy is FCFS_POLICY
+    assert prq.partition("b").policy is SRPT_POLICY
+    # Mixed policies: the unpartitioned path keeps global arrival order.
+    assert prq._uniform_policy is None
+    a1, b_long, b_short = rec("a"), rec("b", [9000.0]), rec("b", [10.0])
+    prq.enqueue(b_long)
+    prq.enqueue(a1)
+    prq.enqueue(b_short)
+    assert prq.dequeue("b") is b_short   # SRPT within the partition
+    assert prq.dequeue() is b_long       # arrival order across partitions
+
+
+def test_uniform_srpt_skips_blocked_heads():
+    from repro.sched import SRPT_POLICY
+
+    prq = PartitionedRequestQueue(16, {"a": 0.5, "b": 0.5},
+                                  policy=SRPT_POLICY)
+    short_a = rec("a", [10.0, 10.0])
+    long_b = rec("b", [9000.0])
+    prq.enqueue(short_a)
+    prq.enqueue(long_b)
+    got = prq.dequeue()
+    assert got is short_a
+    prq.mark_blocked(got)
+    # The blocked entry's stale heap head must be discarded, not served.
+    assert prq.dequeue() is long_b
+
+
+def test_soft_entries_and_soft_enqueue_under_srpt():
+    from repro.sched import SRPT_POLICY
+
+    prq = PartitionedRequestQueue(16, {"a": 0.5, "b": 0.5},
+                                  policy=SRPT_POLICY)
+    prq.soft_enqueue(rec("a"))
+    prq.soft_enqueue(rec("b", [10.0]))
+    assert prq.soft_entries == 2
+    assert prq.occupancy == 0            # soft entries hold no slot
+    got = prq.dequeue()
+    assert got is not None and got.service == "b"
+
+
+def test_observe_forwards_to_partition_policy():
+    from repro.sched.policies import SjfPolicy
+
+    sjf = SjfPolicy()
+    prq = PartitionedRequestQueue(16, {"a": 0.5, "b": 0.5}, policy=sjf)
+    prq.observe("a", 1234.0)
+    assert sjf._estimate_ns["a"] == 1234.0
+    # FCFS partitions have no observe hook; the forward is a no-op.
+    fcfs_prq = make_prq()
+    fcfs_prq.observe("a", 1.0)
+
+
+def test_purge_under_non_fcfs_policy():
+    from repro.sched import SRPT_POLICY
+
+    prq = PartitionedRequestQueue(16, {"a": 0.5, "b": 0.5},
+                                  policy=SRPT_POLICY)
+    for service in ("a", "a", "b"):
+        prq.enqueue(rec(service))
+    assert prq.purge() == 3
+    assert prq.occupancy == 0
+    assert prq.dequeue() is None
+
+
 # ------------------------------------------------- village integration
 
 class StubExecutor:

@@ -49,6 +49,33 @@ def test_key_is_stable_and_input_sensitive():
     assert point(seed=4).key() != base
 
 
+def test_key_sensitive_to_scheduling_policy_fields():
+    """The policy knobs are SystemConfig fields, so they must enter the
+    cache fingerprint — a policy change can never hit a stale entry."""
+    from dataclasses import replace
+
+    base = point().key()
+    assert point(config=replace(UMANYCORE, dispatch="least")).key() != base
+    assert point(config=replace(UMANYCORE, rq_policy="srpt")).key() != base
+    assert point(config=replace(UMANYCORE, steal_policy="maxload")).key() \
+        != base
+    assert point(config=replace(UMANYCORE, core_bypass=True)).key() != base
+
+
+def test_cache_roundtrip_preserves_sched_stats(tmp_path):
+    from dataclasses import replace
+
+    p = point(config=replace(UMANYCORE, core_bypass=True))
+    result = p.run()
+    assert result.sched_stats is not None
+    assert result.sched_stats["bypasses"] > 0
+    restored = result_from_dict(result_to_dict(result))
+    assert restored.sched_stats == result.sched_stats
+    cache = ResultCache(tmp_path)
+    cache.put(p.key(), result)
+    assert cache.get(p.key()).as_dict() == result.as_dict()
+
+
 # ----------------------------------------------------------- round-trip
 
 def run_direct(p):

@@ -7,7 +7,8 @@ from repro.core import HARDWARE_CS, RequestQueue, RequestRecord, \
     SchedulerDomain, Village
 from repro.sched import FCFS_POLICY, SRPT_POLICY, erlang_c, \
     mmc_mean_sojourn, mmc_mean_wait
-from repro.sched.policies import get_policy
+from repro.sched.policies import DeadlinePolicy, POLICY_NAMES, SjfPolicy, \
+    get_policy
 from repro.sim import Engine
 
 
@@ -24,6 +25,76 @@ def test_get_policy():
     assert get_policy("srpt") is SRPT_POLICY
     with pytest.raises(ValueError):
         get_policy("lifo")
+
+
+def test_policy_names_registry():
+    assert POLICY_NAMES == ("edf", "fcfs", "sjf", "srpt")
+
+
+def test_stateful_policies_get_fresh_instances():
+    """SJF carries measured-service-time state: sharing an instance
+    across runs would break same-seed-same-result."""
+    a, b = get_policy("sjf"), get_policy("sjf")
+    assert a is not b
+    a.observe("svc", 500.0)
+    r = rec([100.0])
+    r._rq_seq = 0
+    assert a.key(r) == (500.0, 0)    # a learned the estimate...
+    assert b.key(r) == (0.0, 0)      # ...b did not
+
+
+def test_sjf_ewma_converges_and_orders_by_service():
+    p = SjfPolicy(alpha=0.5)
+    p.observe("slow", 1000.0)        # first sample seeds the estimate
+    assert p._estimate_ns["slow"] == 1000.0
+    p.observe("slow", 2000.0)
+    assert p._estimate_ns["slow"] == pytest.approx(1500.0)
+    p.observe("fast", 10.0)
+    slow_r, fast_r = rec([1.0], service="slow"), rec([1.0], service="fast")
+    slow_r._rq_seq, fast_r._rq_seq = 0, 1
+    # The historically-fast service sorts first despite arriving later.
+    assert p.key(fast_r) < p.key(slow_r)
+
+
+def test_sjf_unseen_service_sorts_first():
+    p = SjfPolicy()
+    p.observe("seen", 100.0)
+    cold, seen = rec([1.0], service="cold"), rec([1.0], service="seen")
+    cold._rq_seq, seen._rq_seq = 5, 0
+    assert p.key(cold) < p.key(seen)
+
+
+def test_sjf_in_rq_serves_measured_short_service_first():
+    p = SjfPolicy()
+    p.observe("long", 9000.0)
+    p.observe("short", 10.0)
+    rq = RequestQueue(8, policy=p)
+    a, b = rec([1.0], service="long"), rec([1.0], service="short")
+    rq.enqueue(a)
+    rq.enqueue(b)
+    assert rq.dequeue() is b
+
+
+def test_sjf_rejects_bad_alpha():
+    with pytest.raises(ValueError):
+        SjfPolicy(alpha=0.0)
+    with pytest.raises(ValueError):
+        SjfPolicy(alpha=1.5)
+
+
+def test_edf_orders_by_implied_deadline():
+    p = DeadlinePolicy(budget_ns=1000.0)
+    early, late = rec([1.0]), rec([1.0])
+    early.arrival_ns, late.arrival_ns = 100.0, 500.0
+    # `late` was admitted to the RQ first (e.g. a retry) but `early`'s
+    # deadline comes first.
+    late._rq_seq, early._rq_seq = 0, 1
+    assert p.key(early) < p.key(late)
+
+
+def test_edf_rejects_negative_budget():
+    with pytest.raises(ValueError):
+        DeadlinePolicy(budget_ns=-1.0)
 
 
 def test_fcfs_serves_in_arrival_order():
