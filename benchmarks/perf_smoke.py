@@ -154,6 +154,33 @@ def policy_equivalence() -> list:
     return failures
 
 
+def dc_equivalence() -> list:
+    """Check the datacenter tier's zero-behaviour-change contract.
+
+    A ``DcConfig(lb="rr")`` run at one server routes every arrival
+    through the front-end LB, but the arrival stream, dispatch order and
+    timing must replay the plain single-server path byte-for-byte — the
+    only allowed difference is the extra ``dc`` stats block.
+
+    Returns:
+        A list of failure strings (empty when equivalent).
+    """
+    from repro.dc import DcConfig
+
+    sim = ClusterSimulation(CONFIG, social_network_app("Text"),
+                            rps_per_server=RPS, n_servers=1,
+                            duration_s=DURATION_S, seed=SEED,
+                            dc=DcConfig(lb="rr"))
+    got = sim.run().as_dict()
+    failures = []
+    if got.pop("dc", None) is None:
+        failures.append("dc-mode run is missing its dc stats block")
+    if got != _run(faulted=False)[1].as_dict():
+        failures.append("dc-mode (lb=rr, 1 server) diverges from the "
+                        "plain single-server path")
+    return failures
+
+
 def main() -> int:
     """Entry point; returns the process exit code."""
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -187,7 +214,8 @@ def main() -> int:
     doc = json.loads(BASELINE_PATH.read_text())
     base = doc["baseline"]
     tol = doc["tolerance"]["overhead_ratio_regression"]
-    failures = runner_equivalence() + policy_equivalence()
+    failures = (runner_equivalence() + policy_equivalence()
+                + dc_equivalence())
     limit = base["overhead_ratio"] * (1.0 + tol)
     if measured["overhead_ratio"] > limit:
         failures.append(

@@ -125,6 +125,13 @@ class NullCheckContext:
     def root_done(self, kind: str) -> None:
         """A root request was answered (completed/rejected/failed)."""
 
+    # --- datacenter tier (repro.dc)
+    def lb_route(self, lb, server_id: int, active: bool) -> None:
+        """The front-end LB routed one root request to ``server_id``."""
+
+    def lb_scale(self, lb, action: str, server_id: int) -> None:
+        """The autoscaler activated ("add") or drained a server."""
+
     # --- faults / compute
     def fault_applied(self, event, now_ns: float) -> None:
         """The injector applied a fault event."""
@@ -224,6 +231,8 @@ class CheckContext(NullCheckContext):
         self._nic_rejects = 0
         self._steals_seen = 0
         self._bypasses_seen = 0
+        self._lb_routed: Dict[int, int] = {}
+        self._lb_scales = 0
         self._finalized = False
 
     # ------------------------------------------------------------ reporting
@@ -548,6 +557,31 @@ class CheckContext(NullCheckContext):
         self.stats.checks += 1
         self._roots_done[kind] = self._roots_done.get(kind, 0) + 1
 
+    # ------------------------------------------------------- datacenter tier
+
+    def lb_route(self, lb, server_id: int, active: bool) -> None:
+        self.stats.checks += 1
+        self._lb_routed[server_id] = self._lb_routed.get(server_id, 0) + 1
+        if not active:
+            self.violation(
+                "lb-route", f"root routed to drained server {server_id}",
+                where="lb")
+        if not 0 <= server_id < lb.n_servers:
+            self.violation(
+                "lb-route", f"routed to out-of-range server {server_id}",
+                where="lb")
+
+    def lb_scale(self, lb, action: str, server_id: int) -> None:
+        self.stats.checks += 1
+        self._lb_scales += 1
+        if action not in ("add", "drain"):
+            self.violation(
+                "lb-scale", f"unknown scale action {action!r}", where="lb")
+        if not lb.active_ids:
+            self.violation(
+                "lb-scale", "scaling emptied the active server set",
+                where="lb")
+
     # --------------------------------------------------------------- faults
 
     def fault_applied(self, event, now_ns: float) -> None:
@@ -669,6 +703,48 @@ class CheckContext(NullCheckContext):
                         "conservation", f"{server.top_nic.buffered} "
                         f"request(s) stranded in the NIC overflow buffer",
                         where=server.top_nic.name)
+        lb = getattr(sim, "lb", None)
+        if lb is not None and drained:
+            # LB conservation ledger: every arrival was routed exactly
+            # once, the hook counts agree with the LB's own counters,
+            # each server answered precisely what was routed to it (so
+            # no request is lost across an autoscale drain), and no
+            # root is still outstanding after the engine drained.
+            self.stats.checks += 1
+            hook_routed = sum(self._lb_routed.values())
+            if hook_routed != sim.offered:
+                self.violation(
+                    "conservation", f"lb route hooks {hook_routed} != "
+                    f"cluster offered counter {sim.offered}", where="lb")
+            for sid in range(lb.n_servers):
+                self.stats.checks += 1
+                if self._lb_routed.get(sid, 0) != lb.routed[sid]:
+                    self.violation(
+                        "conservation",
+                        f"server {sid}: lb routed counter "
+                        f"{lb.routed[sid]} != route hooks seen "
+                        f"{self._lb_routed.get(sid, 0)}", where="lb")
+                answered = sim.server_answered[sid]
+                if lb.routed[sid] != answered:
+                    self.violation(
+                        "conservation",
+                        f"server {sid}: {lb.routed[sid]} roots routed != "
+                        f"{answered} answered (request lost across a "
+                        f"drain?)", where="lb")
+                if lb.outstanding[sid] != 0:
+                    self.violation(
+                        "conservation",
+                        f"server {sid}: {lb.outstanding[sid]} root(s) "
+                        f"still outstanding at drain", where="lb")
+            scaler = getattr(sim, "autoscaler", None)
+            if scaler is not None:
+                self.stats.checks += 1
+                if len(scaler.events) != self._lb_scales:
+                    self.violation(
+                        "conservation",
+                        f"autoscaler logged {len(scaler.events)} events "
+                        f"but the checker saw {self._lb_scales}",
+                        where="lb")
         injector = getattr(sim, "injector", None)
         if injector is not None:
             self.stats.checks += 1

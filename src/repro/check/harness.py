@@ -37,6 +37,10 @@ FAULT_RATES = (200.0, 1_000.0)
 DISPATCHES = ("rr", "least", "affinity")
 RQ_POLICIES = ("fcfs", "srpt", "sjf", "edf")
 STEALS = ("off", "first", "maxload")
+#: Datacenter-tier axes (repro.dc); "off" on the lb axis means no dc
+#: tier at all (the classic per-server arrival path).
+LBS = ("off", "rr", "random", "p2c", "least", "affinity")
+REPLICATIONS = (0, 1, 2)
 
 
 @dataclass(frozen=True)
@@ -56,6 +60,9 @@ class Trial:
     rq_policy: str = "fcfs"        # intra-village dequeue order
     steal: str = "off"             # "off" or a steal-victim policy
     core_bypass: bool = False      # nanoPU-style fast path
+    lb: str = "off"                # "off" or a front-end LB policy
+    replication: int = 0           # service replicas (0 = everywhere)
+    autoscale: bool = False        # reactive server autoscaling
 
     def describe(self) -> str:
         """One-line repro of this trial — valid ``Trial(...)`` syntax, so
@@ -77,6 +84,12 @@ class Trial:
             parts.append(f"steal={self.steal!r}")
         if self.core_bypass:
             parts.append("core_bypass=True")
+        if self.lb != "off":
+            parts.append(f"lb={self.lb!r}")
+        if self.replication:
+            parts.append(f"replication={self.replication}")
+        if self.autoscale:
+            parts.append("autoscale=True")
         return "Trial(" + ", ".join(parts) + ")"
 
 
@@ -132,11 +145,18 @@ def run_trial(trial: Trial) -> CheckContext:
 
     check = CheckContext(strict=False)
     tracer = Tracer() if trial.trace else None
+    dc = None
+    if trial.lb != "off":
+        from repro.dc import DcConfig
+
+        dc = DcConfig(lb=trial.lb, replication=trial.replication,
+                      autoscale=trial.autoscale,
+                      autoscale_interval_ns=200_000.0)
     sim = ClusterSimulation(
         _trial_config(trial), _app(trial.app), rps_per_server=trial.rps,
         n_servers=trial.n_servers, duration_s=trial.duration_s,
         seed=trial.seed, arrivals=trial.arrivals, tracer=tracer,
-        check=check)
+        check=check, dc=dc)
     if trial.fault_rate > 0:
         from repro.faults import FaultSchedule, fault_inventory
 
@@ -173,7 +193,10 @@ def draw_trial(rng: np.random.Generator,
         dispatch=str(rng.choice(DISPATCHES)),
         rq_policy=str(rng.choice(RQ_POLICIES)),
         steal=str(rng.choice(STEALS)),
-        core_bypass=bool(rng.random() < 0.25))
+        core_bypass=bool(rng.random() < 0.25),
+        lb=str(rng.choice(LBS)),
+        replication=int(rng.choice(REPLICATIONS)),
+        autoscale=bool(rng.random() < 0.25))
 
 
 ProgressFn = Callable[[int, Trial, CheckContext], None]
@@ -213,8 +236,9 @@ def shrink(trial: Trial,
     """Reduce a failing trial to a smaller one that still fails.
 
     Tries one axis at a time, in order of how much each simplifies the
-    repro: drop the fault schedule, drop tracing, halve the duration
-    (twice), go to one server, swap in the simplest app, fall back to
+    repro: drop the fault schedule, reset the policy and dc axes,
+    drop tracing, halve the duration (twice), go to one server, swap in
+    the simplest app, fall back to
     Poisson arrivals, and lower the load.  An axis change is kept only
     when the reduced trial still fails.
 
@@ -234,6 +258,7 @@ def shrink(trial: Trial,
         lambda t: replace(t, fault_rate=0.0),
         lambda t: replace(t, dispatch="rr", rq_policy="fcfs",
                           steal="off", core_bypass=False),
+        lambda t: replace(t, lb="off", replication=0, autoscale=False),
         lambda t: replace(t, trace=False),
         lambda t: replace(t, duration_s=t.duration_s / 2),
         lambda t: replace(t, duration_s=t.duration_s / 2),

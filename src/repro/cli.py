@@ -40,7 +40,7 @@ SYSTEMS = {
 EXPERIMENTS = [
     "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
     "fig09", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-    "figF", "figS", "sec68", "power", "all",
+    "figD", "figF", "figS", "sec68", "power", "all",
 ]
 
 
@@ -105,6 +105,28 @@ def _fault_setup(args, sim):
     return sched, resilience
 
 
+def _dc_setup(args):
+    """Translate the dc CLI flags into a DcConfig (None = dc tier off).
+
+    The tier only switches on when at least one dc flag was given (or
+    the command forces it via ``dc_default``), so plain runs keep the
+    classic per-server arrival path byte-for-byte.
+    """
+    lb = getattr(args, "lb", None)
+    placement = getattr(args, "placement", None)
+    autoscale = getattr(args, "autoscale", False)
+    if lb is None and placement is None and not autoscale \
+            and not getattr(args, "dc_default", False):
+        return None
+    from repro.dc import DcConfig
+
+    return DcConfig(lb=lb or "rr",
+                    lb_latency_ns=getattr(args, "lb_latency_us", 0.0) * 1e3,
+                    replication=placement or 0,
+                    autoscale=autoscale,
+                    min_servers=getattr(args, "min_servers", 1))
+
+
 def _policy_overrides(args) -> dict:
     """Translate the scheduling flags into SystemConfig field overrides.
 
@@ -148,7 +170,7 @@ def _run_simulation(args, tracer=None, metrics_interval_ns=None):
                             seed=args.seed, arrivals=args.arrivals,
                             tracer=tracer,
                             metrics_interval_ns=metrics_interval_ns,
-                            check=check)
+                            check=check, dc=_dc_setup(args))
     schedule, resilience = _fault_setup(args, sim)
     if schedule or resilience is not None:
         sim.install_faults(schedule, resilience)
@@ -185,6 +207,16 @@ def _print_summary(result, json_mode: bool) -> None:
               f"{int(fs['blackholed'])} blackholed, "
               f"{int(fs['icn_dropped'])}/{int(fs['nic_dropped'])} "
               f"icn/nic drops")
+    if result.dc_stats is not None:
+        dcs = result.dc_stats
+        extra = ""
+        if dcs.get("scale_events") is not None:
+            extra = (f", {dcs['scale_ups']} scale-ups / "
+                     f"{dcs['scale_downs']} scale-downs")
+        print(f"dc         : lb={dcs['lb']} routed={dcs['routed']}, "
+              f"{dcs['proxied']} proxied RPCs{extra}")
+        print(f"pooled p99 : {dcs['pooled']['p99'] / 1e3:.1f} us over "
+              f"{dcs['pooled']['count']} pooled samples")
     bd = result.breakdown()
     if bd is not None:
         from repro.telemetry import format_breakdown
@@ -250,6 +282,43 @@ def cmd_faults(args) -> None:
               + (f" ({kinds})" if kinds else ""))
 
 
+def cmd_dc(args) -> None:
+    """Datacenter-tier run: front-end LB + placement + autoscaling.
+
+    Always runs with the dc tier on (``--lb`` defaults to rr) and
+    reports the per-server routing/latency table, cross-server RPC
+    proxying, and any autoscale events.
+    """
+    from repro.experiments.common import format_table
+
+    args.dc_default = True
+    result = _run_simulation(args)
+    _print_summary(result, args.json)
+    if args.json:
+        return
+    dcs = result.dc_stats
+    rows = []
+    for entry in dcs["per_server"]:
+        rows.append([
+            entry["server"], entry["routed"], entry["answered"],
+            entry["completed"],
+            f"{entry['p50_ns'] / 1e3:.1f}" if "p50_ns" in entry else "-",
+            f"{entry['p99_ns'] / 1e3:.1f}" if "p99_ns" in entry else "-",
+        ])
+    print("\nper-server routing (lb=" + dcs["lb"]
+          + (f", replication={dcs['replication']}" if dcs["replication"]
+             else "") + "):")
+    print(format_table(
+        ["server", "routed", "answered", "completed", "p50 us", "p99 us"],
+        rows))
+    if dcs.get("spills") is not None:
+        print(f"affinity spills: {dcs['spills']}")
+    for ev in dcs.get("scale_events", []):
+        print(f"  t={ev['time_ns'] / 1e6:7.2f} ms  {ev['action']:5s} "
+              f"server {ev['server']} (mean util "
+              f"{ev['mean_util']:.2f})")
+
+
 def cmd_sweep(args) -> None:
     """Run a custom (systems x apps x loads x seeds) grid.
 
@@ -268,7 +337,7 @@ def cmd_sweep(args) -> None:
         loads=tuple(float(x) for x in args.loads.split(",")),
         seeds=tuple(int(x) for x in args.seeds.split(",")),
         n_servers=args.servers, duration_s=args.duration,
-        arrivals=args.arrivals)
+        arrivals=args.arrivals, dc=_dc_setup(args))
     points = spec.points()
     cache = None if args.no_cache or args.check else ResultCache()
     width = len(str(len(points)))
@@ -314,7 +383,8 @@ def cmd_experiment(args) -> None:
         "fig15": "fig15_breakdown", "fig16": "fig16_avg_latency",
         "fig17": "fig17_tail_to_avg", "fig18": "fig18_throughput",
         "fig19": "fig19_sensitivity", "fig20": "fig20_synthetic",
-        "figF": "figF_faults", "figS": "figS_policies",
+        "figD": "figD_datacenter", "figF": "figF_faults",
+        "figS": "figS_policies",
         "sec68": "sec68_iso_area", "power": "power_area",
         "all": "run_all",
     }
@@ -326,13 +396,22 @@ def cmd_experiment(args) -> None:
     module = importlib.import_module(f"repro.experiments.{mapping[args.id]}")
     if args.id == "all":
         module.main(jobs=args.jobs, use_cache=not args.no_cache,
-                    check=args.check)
+                    check=args.check, quick=args.quick)
         return
+    kwargs = {}
+    if args.quick:
+        import inspect
+
+        if "settings" not in inspect.signature(module.main).parameters:
+            raise SystemExit(f"--quick is not supported by {args.id}")
+        from repro.experiments.common import Settings
+
+        kwargs["settings"] = Settings(n_servers=1, duration_s=0.02)
     from repro.runner import ResultCache, executing
 
     cache = None if args.no_cache or args.check else ResultCache()
     with executing(jobs=args.jobs, cache=cache, check=args.check):
-        module.main()
+        module.main(**kwargs)
 
 
 def cmd_validate(args) -> None:
@@ -393,6 +472,11 @@ def cmd_list(args) -> None:
     print(f"  --rq-policy: {', '.join(POLICY_NAMES)}")
     print(f"  --steal    : off, {', '.join(STEAL_NAMES)}")
     print("  --core-bypass")
+    from repro.dc import LB_NAMES
+
+    print("\ndatacenter tier (repro.dc):")
+    print(f"  --lb       : {', '.join(LB_NAMES)}")
+    print("  --placement K / --autoscale / --min-servers N")
     print("\nexperiments:", ", ".join(EXPERIMENTS))
 
 
@@ -437,6 +521,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="nanoPU-style fast path: arrivals land "
                             "straight on an idle core when possible")
 
+    def add_dc_args(p) -> None:
+        from repro.dc import LB_NAMES
+
+        g = p.add_argument_group(
+            "datacenter", "front-end LB / placement / autoscaling "
+                          "(repro.dc); any of these switches the dc "
+                          "tier on")
+        g.add_argument("--lb", choices=LB_NAMES, default=None,
+                       help="front-end load-balancing policy "
+                            "(default rr once the tier is on)")
+        g.add_argument("--lb-latency-us", dest="lb_latency_us",
+                       type=float, default=0.0,
+                       help="one-way LB-to-server routing latency")
+        g.add_argument("--placement", type=int, default=None, metavar="K",
+                       help="replicate each non-root service on K "
+                            "servers (leaf RPCs proxy cross-server; "
+                            "0 = every service everywhere)")
+        g.add_argument("--autoscale", action="store_true",
+                       help="reactive utilization-driven server "
+                            "add/drain")
+        g.add_argument("--min-servers", dest="min_servers", type=int,
+                       default=1, metavar="N",
+                       help="autoscale floor (default 1)")
+
     def add_fault_args(p, default_rate: float = 0.0) -> None:
         g = p.add_argument_group(
             "faults", "deterministic fault injection (repro.faults); any "
@@ -478,6 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim = sub.add_parser("simulate", help="run one cluster simulation")
     add_run_args(sim)
     add_policy_args(sim)
+    add_dc_args(sim)
     add_fault_args(sim)
     sim.add_argument("--trace-out", metavar="FILE", default=None,
                      help="also trace the run and write a Chrome "
@@ -488,6 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="run one traced simulation and export the spans")
     add_run_args(tr)
     add_policy_args(tr)
+    add_dc_args(tr)
     add_fault_args(tr)
     tr.add_argument("--out", required=True, metavar="FILE",
                     help="Chrome trace-event JSON output path "
@@ -504,6 +614,7 @@ def build_parser() -> argparse.ArgumentParser:
                        "availability, goodput and resilience counters")
     add_run_args(flt)
     add_policy_args(flt)
+    add_dc_args(flt)
     add_fault_args(flt, default_rate=200.0)
     flt.add_argument("--quiet-schedule", dest="describe_faults",
                      action="store_false", default=True,
@@ -539,7 +650,18 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--json", action="store_true",
                      help="print the results as a JSON array")
     add_policy_args(swp)
+    add_dc_args(swp)
     swp.set_defaults(func=cmd_sweep)
+
+    dcp = sub.add_parser(
+        "dc", help="datacenter-tier run: front-end LB, service "
+                   "placement and autoscaling over the cluster "
+                   "(repro.dc)")
+    add_run_args(dcp)
+    add_policy_args(dcp)
+    add_dc_args(dcp)
+    add_fault_args(dcp)
+    dcp.set_defaults(func=cmd_dc)
 
     exp = sub.add_parser(
         "experiment",
@@ -553,6 +675,9 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--check", action="store_true",
                      help="run every simulation point under the "
                           "invariant sanitizer (implies --no-cache)")
+    exp.add_argument("--quick", action="store_true",
+                     help="reduced scales — smoke-test the figure "
+                          "('all' and the settings-aware figures)")
     add_policy_args(exp)
     exp.set_defaults(func=cmd_experiment)
 

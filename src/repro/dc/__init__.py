@@ -1,0 +1,25 @@
+"""repro.dc — the datacenter tier over multi-server uManycore racks.
+
+Front-end load balancer (:class:`FrontEndLB` + the pluggable policies
+of :mod:`repro.dc.lb`), deterministic service placement/replication
+(:class:`PlacementPlan`), and reactive utilization-driven autoscaling
+(:class:`Autoscaler`), all configured through one opt-in frozen
+:class:`DcConfig` threaded through ``simulate(..., dc=...)``, the sweep
+runner and the CLI.  ``dc=None`` keeps every run byte-identical to the
+pre-dc simulator.
+"""
+
+from repro.dc.autoscale import Autoscaler
+from repro.dc.config import DcConfig
+from repro.dc.lb import FrontEndLB, LB_FACTORIES, LB_NAMES, get_lb_policy
+from repro.dc.placement import PlacementPlan
+
+__all__ = [
+    "Autoscaler",
+    "DcConfig",
+    "FrontEndLB",
+    "LB_FACTORIES",
+    "LB_NAMES",
+    "PlacementPlan",
+    "get_lb_policy",
+]

@@ -37,6 +37,7 @@ from repro.experiments import (
     fig18_throughput,
     fig19_sensitivity,
     fig20_synthetic,
+    figD_datacenter,
     figS_policies,
     power_area,
     sec68_iso_area,
@@ -64,6 +65,7 @@ SECTIONS = [
     ("Power & area", power_area.main),
     # Appended last so earlier sections' output stays a stable prefix.
     ("Figure S (policies)", figS_policies.main),
+    ("Figure D (datacenter)", figD_datacenter.main),
 ]
 
 
@@ -82,7 +84,7 @@ def _run_section(title, runner, settings) -> None:
         fig17_tail_to_avg.main(settings=settings, progress=False)
     elif runner in (fig15_breakdown.main, fig19_sensitivity.main,
                     fig20_synthetic.main, sec68_iso_area.main,
-                    figS_policies.main):
+                    figS_policies.main, figD_datacenter.main):
         runner(settings=settings)
     else:
         runner()

@@ -75,3 +75,28 @@ class LatencyRecorder:
             p999=float(np.percentile(lats, 99.9)),
             maximum=float(np.max(lats)),
         )
+
+
+def pooled_summary(recorders, after_ns: float = 0.0) -> LatencySummary:
+    """Summarize the *pooled raw samples* of several recorders.
+
+    Tail percentiles do not compose: averaging per-server p99s
+    understates (or overstates) the cluster-level tail whenever load or
+    latency is skewed across servers.  This merges the underlying
+    samples and takes percentiles of the pool, which is the
+    statistically correct cluster aggregate.
+    """
+    pools = [r.latencies(after_ns) for r in recorders]
+    lats = np.concatenate(pools) if pools else np.asarray([])
+    if len(lats) == 0:
+        raise ValueError(
+            f"no samples across {len(recorders)} recorders "
+            f"(after_ns={after_ns:g})")
+    return LatencySummary(
+        count=len(lats),
+        mean=float(np.mean(lats)),
+        p50=float(np.percentile(lats, 50)),
+        p99=float(np.percentile(lats, 99)),
+        p999=float(np.percentile(lats, 99.9)),
+        maximum=float(np.max(lats)),
+    )

@@ -28,7 +28,7 @@ from repro.metrics.latency import LatencySummary
 from repro.systems.cluster import RunResult
 
 #: Bump when the entry layout changes; mismatched entries are evicted.
-SCHEMA = 2
+SCHEMA = 3
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -77,6 +77,7 @@ def result_to_dict(result: RunResult) -> dict:
         "failed": result.failed,
         "fault_stats": result.fault_stats,
         "sched_stats": result.sched_stats,
+        "dc_stats": result.dc_stats,
     }
 
 
@@ -105,7 +106,7 @@ def result_from_dict(doc: dict) -> RunResult:
         completed=doc["completed"], rejected=doc["rejected"],
         offered=doc["offered"], warmup_ns=doc["warmup_ns"],
         failed=doc["failed"], fault_stats=doc["fault_stats"],
-        sched_stats=doc["sched_stats"])
+        sched_stats=doc["sched_stats"], dc_stats=doc["dc_stats"])
 
 
 class ResultCache:

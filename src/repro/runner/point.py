@@ -37,6 +37,7 @@ class SweepPoint:
     arrivals: str = "poisson"
     faults: Optional[object] = None         # FaultSchedule or None
     resilience: Optional[object] = None     # ResilienceConfig or None
+    dc: Optional[object] = None             # repro.dc.DcConfig or None
     #: Run under the invariant sanitizer (repro.check).  Deliberately
     #: NOT part of :meth:`key`: checks observe the simulation without
     #: perturbing it, so the result is the same either way — but check
@@ -70,6 +71,7 @@ class SweepPoint:
             "arrivals": self.arrivals,
             "faults": fingerprint(self.faults),
             "resilience": fingerprint(self.resilience),
+            "dc": fingerprint(self.dc),
         })
 
     def run(self):
@@ -94,7 +96,8 @@ class SweepPoint:
                         duration_s=self.duration_s, seed=self.seed,
                         warmup_fraction=self.warmup_fraction,
                         arrivals=self.arrivals, faults=self.faults,
-                        resilience=self.resilience, check=checker)
+                        resilience=self.resilience, check=checker,
+                        dc=self.dc)
 
 
 @dataclass(frozen=True)
@@ -116,6 +119,7 @@ class SweepSpec:
     duration_s: float = 0.03
     warmup_fraction: float = 0.25
     arrivals: str = "poisson"
+    dc: Optional[object] = None             # repro.dc.DcConfig or None
 
     def __post_init__(self):
         """Reject grids with an empty axis."""
@@ -140,7 +144,7 @@ class SweepSpec:
                        n_servers=self.n_servers,
                        duration_s=self.duration_s, seed=seed,
                        warmup_fraction=self.warmup_fraction,
-                       arrivals=self.arrivals)
+                       arrivals=self.arrivals, dc=self.dc)
             for seed in self.seeds
             for rps in self.loads
             for app in self.apps

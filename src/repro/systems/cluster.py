@@ -12,8 +12,13 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.check.context import NULL_CHECK, NullCheckContext
+from repro.dc.autoscale import Autoscaler
+from repro.dc.config import DcConfig
+from repro.dc.lb import AffinityLB, FrontEndLB, get_lb_policy
+from repro.dc.placement import PlacementPlan
 from repro.faults import FaultInjector, FaultSchedule, ResilienceConfig
-from repro.metrics.latency import LatencyRecorder, LatencySummary
+from repro.metrics.latency import LatencyRecorder, LatencySummary, \
+    pooled_summary
 from repro.net.fabric import FabricConfig, InterServerFabric, StorageBackend
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
@@ -54,6 +59,10 @@ class RunResult:
     #: None under the default policies so default output stays
     #: byte-identical to the pre-policy-layer simulator.
     sched_stats: Optional[dict] = None
+    #: Datacenter-tier stats (LB routing, placement proxying, autoscale
+    #: events, per-server/pooled tails); None when ``dc`` is off so
+    #: non-dc output stays byte-identical to the pre-dc simulator.
+    dc_stats: Optional[dict] = None
 
     @property
     def throughput_rps(self) -> float:
@@ -113,6 +122,8 @@ class RunResult:
             d["faults"] = self.fault_stats
         if self.sched_stats is not None:
             d["sched"] = self.sched_stats
+        if self.dc_stats is not None:
+            d["dc"] = self.dc_stats
         return d
 
 
@@ -129,7 +140,8 @@ class ClusterSimulation:
                  metrics_interval_ns: Optional[float] = None,
                  faults: Optional[FaultSchedule] = None,
                  resilience: Optional[ResilienceConfig] = None,
-                 check: Optional[NullCheckContext] = None):
+                 check: Optional[NullCheckContext] = None,
+                 dc: Optional[DcConfig] = None):
         if n_servers < 1:
             raise ValueError("n_servers must be >= 1")
         if not 0 <= warmup_fraction < 1:
@@ -161,13 +173,42 @@ class ClusterSimulation:
                                       self.streams.stream("storage"),
                                       fabric_config)
         apps: Dict[str, AppSpec] = {app.name: app}
+        # Datacenter tier (repro.dc): service placement decides which
+        # services each server hosts; the front-end LB owns routing.
+        self.dc = dc
+        self.placement: Optional[PlacementPlan] = None
+        if dc is not None and dc.replication > 0:
+            services = sorted({s for a in apps.values() for s in a.services})
+            roots = {a.root for a in apps.values()}
+            self.placement = PlacementPlan.build(
+                services, roots, n_servers, dc.replication)
         self.servers = [
             Server(self.engine, i, config, apps,
                    self.streams.stream(f"server{i}"), self.fabric,
-                   self.storage)
+                   self.storage,
+                   hosted=(self.placement.services_on(i)
+                           if self.placement is not None else None))
             for i in range(n_servers)]
         for server in self.servers:
             server.peers = self.servers
+            server.placement_plan = self.placement
+        self.lb: Optional[FrontEndLB] = None
+        self.autoscaler: Optional[Autoscaler] = None
+        self.server_answered: Optional[list] = None
+        self.server_recorders: Optional[list] = None
+        if dc is not None:
+            policy = get_lb_policy(dc.lb, dc.spill_margin)
+            lb_rng = self.streams.stream("lb") if policy.needs_rng else None
+            self.lb = FrontEndLB(n_servers, policy, rng=lb_rng,
+                                 check=self.check)
+            self.server_answered = [0] * n_servers
+            self.server_recorders = [
+                LatencyRecorder(name=f"{config.name}/s{i}")
+                for i in range(n_servers)]
+            if dc.autoscale:
+                self.autoscaler = Autoscaler(self.engine, self.lb,
+                                             self.servers, dc,
+                                             check=self.check)
         self.recorder = LatencyRecorder(name=f"{config.name}/{app.name}")
         self.offered = 0
         self.rejected = 0
@@ -230,6 +271,19 @@ class ClusterSimulation:
     def _schedule_arrivals(self) -> None:
         generate = arrival_times if self.arrivals == "poisson" \
             else bursty_arrival_times
+        if self.lb is not None:
+            # One shared arrival process for the whole cluster, routed
+            # per-request by the front-end LB.  Reuses the "arrivals0"
+            # stream at the aggregate rate so lb=rr with one server
+            # replays the single-server arrival sequence exactly.
+            rng = self.streams.stream("arrivals0")
+            rate = self.rps_per_server * self.n_servers
+            for t in generate(rate, self.duration_s, rng):
+                self.offered += 1
+                if self.check.enabled:
+                    self.check.root_offered()
+                self.engine.schedule_at(float(t), self._route, float(t))
+            return
         for i, server in enumerate(self.servers):
             rng = self.streams.stream(f"arrivals{i}")
             for t in generate(self.rps_per_server, self.duration_s, rng):
@@ -239,8 +293,21 @@ class ClusterSimulation:
                 self.engine.schedule_at(
                     float(t), self._issue, server, float(t))
 
+    def _route(self, arrival_ns: float) -> None:
+        """LB entry point: pick a server for one arriving root request."""
+        sid = self.lb.route(self.app.name)
+        server = self.servers[sid]
+        if self.dc.lb_latency_ns > 0:
+            self.engine.schedule(self.dc.lb_latency_ns, self._issue,
+                                 server, arrival_ns)
+        else:
+            self._issue(server, arrival_ns)
+
     def _issue(self, server: Server, arrival_ns: float) -> None:
         def done(rec) -> None:
+            if self.lb is not None:
+                self.lb.request_done(server.server_id)
+                self.server_answered[server.server_id] += 1
             if rec.rejected:
                 self.rejected += 1
                 if self.check.enabled:
@@ -261,6 +328,9 @@ class ClusterSimulation:
                 self.check.root_done("completed")
             latency = self.engine.now - arrival_ns
             self.recorder.record(self.engine.now, latency)
+            if self.server_recorders is not None:
+                self.server_recorders[server.server_id].record(
+                    self.engine.now, latency)
             if self.metrics is not None:
                 self.metrics.histogram("latency_ns").observe(latency)
 
@@ -270,6 +340,8 @@ class ClusterSimulation:
         self._schedule_arrivals()
         if self.injector is not None:
             self.injector.install()
+        if self.autoscaler is not None:
+            self.autoscaler.install()
         if self.metrics is not None:
             self.metrics.histogram("latency_ns")
             self.metrics.start_sampling(self.engine, self.metrics_interval_ns)
@@ -293,7 +365,48 @@ class ClusterSimulation:
             completed=len(self.recorder), rejected=self.rejected,
             offered=self.offered, tracer=self.tracer, metrics=self.metrics,
             warmup_ns=warmup_ns, failed=self.failed,
-            fault_stats=fault_stats, sched_stats=self._sched_stats())
+            fault_stats=fault_stats, sched_stats=self._sched_stats(),
+            dc_stats=self._dc_stats(warmup_ns))
+
+    def _dc_stats(self, warmup_ns: float) -> Optional[dict]:
+        """Datacenter-tier counters; None when ``dc`` is off (keeps the
+        non-dc ``as_dict`` payload byte-identical to the pre-dc layer)."""
+        if self.lb is None:
+            return None
+        dc = self.dc
+        stats = {
+            "lb": dc.lb,
+            "lb_latency_ns": dc.lb_latency_ns,
+            "replication": dc.replication,
+            "autoscale": dc.autoscale,
+            "routed": list(self.lb.routed),
+            "active_at_end": self.lb.active_ids,
+            "proxied": sum(s.rpc_proxied for s in self.servers),
+            "per_server": [],
+        }
+        for sid, rec in enumerate(self.server_recorders):
+            entry = {
+                "server": sid,
+                "routed": self.lb.routed[sid],
+                "answered": self.server_answered[sid],
+                "completed": len(rec),
+            }
+            if rec.latencies(after_ns=warmup_ns).size:
+                s = rec.summary(after_ns=warmup_ns)
+                entry.update(p50_ns=s.p50, p99_ns=s.p99, p999_ns=s.p999)
+            stats["per_server"].append(entry)
+        pooled = pooled_summary(self.server_recorders, after_ns=warmup_ns)
+        stats["pooled"] = pooled.as_dict()
+        if isinstance(self.lb.policy, AffinityLB):
+            stats["spills"] = self.lb.policy.spills
+        if self.autoscaler is not None:
+            stats["scale_ups"] = self.autoscaler.scale_ups
+            stats["scale_downs"] = self.autoscaler.scale_downs
+            stats["scale_events"] = [
+                {"time_ns": t, "action": action, "server": sid,
+                 "mean_util": util}
+                for t, action, sid, util in self.autoscaler.events]
+        return stats
 
     def _sched_stats(self) -> Optional[dict]:
         """Policy-layer counters; None for default-policy runs (keeps
@@ -354,7 +467,8 @@ def simulate(config: SystemConfig, app: AppSpec, rps_per_server: float,
              metrics_interval_ns: Optional[float] = None,
              faults: Optional[FaultSchedule] = None,
              resilience: Optional[ResilienceConfig] = None,
-             check: Optional[NullCheckContext] = None) -> RunResult:
+             check: Optional[NullCheckContext] = None,
+             dc: Optional[DcConfig] = None) -> RunResult:
     """One-call wrapper: build the cluster, run it, return the result.
 
     Pass a :class:`repro.telemetry.Tracer` to capture spans and/or a
@@ -364,11 +478,14 @@ def simulate(config: SystemConfig, app: AppSpec, rps_per_server: float,
     ``resilience`` policy is given) arms default timeout/retry handling.
     A :class:`repro.check.CheckContext` as ``check`` runs the run under
     the invariant sanitizer (raising on violations when it is strict).
+    A :class:`repro.dc.DcConfig` as ``dc`` switches on the datacenter
+    tier — one shared arrival process routed through a front-end LB,
+    service placement/replication, and (optionally) autoscaling.
     """
     sim = ClusterSimulation(config, app, rps_per_server, n_servers,
                             duration_s, seed, warmup_fraction, fabric_config,
                             arrivals=arrivals, tracer=tracer,
                             metrics_interval_ns=metrics_interval_ns,
                             faults=faults, resilience=resilience,
-                            check=check)
+                            check=check, dc=dc)
     return sim.run()

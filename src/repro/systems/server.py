@@ -47,7 +47,8 @@ class Server:
 
     def __init__(self, engine: Engine, server_id: int, config: SystemConfig,
                  apps: Dict[str, AppSpec], rng: np.random.Generator,
-                 fabric: InterServerFabric, storage: StorageBackend):
+                 fabric: InterServerFabric, storage: StorageBackend,
+                 hosted: Optional[frozenset] = None):
         self.engine = engine
         self.server_id = server_id
         self.config = config
@@ -56,6 +57,15 @@ class Server:
         self.fabric = fabric
         self.storage = storage
         self.peers: List["Server"] = [self]
+        #: Services this server hosts (None = all; set by the dc tier's
+        #: PlacementPlan when replication < n_servers).
+        self.hosted = hosted
+        #: The cluster-wide :class:`repro.dc.PlacementPlan` (None when
+        #: the dc tier is off or every service runs everywhere).
+        self.placement_plan = None
+        #: Leaf RPCs forwarded to a remote replica because the target
+        #: service has no local instance under the placement plan.
+        self.rpc_proxied = 0
         self.core_model = CoreModel(config.core)
         # Section 8: heterogeneous villages — a spread subset of villages
         # uses the beefier core type.
@@ -204,6 +214,10 @@ class Server:
         for app in self.apps.values():
             services.update(app.services)
         names = sorted(services)
+        if self.hosted is not None:
+            # Placement plan in force: only instantiate the services this
+            # server hosts (leaf RPCs to the rest are proxied cross-server).
+            names = [n for n in names if n in self.hosted]
         n_queues = self.config.n_queues
         self.placement: Dict[str, List[int]] = {name: [] for name in names}
         if n_queues >= len(names):
@@ -383,7 +397,21 @@ class Server:
         self.network.send(node, leaf, self._coh_bytes(STORAGE_BYTES),
                           at_rnic, rec=rec)
 
-    def _pick_callee(self) -> "Server":
+    def _pick_callee(self, target: str) -> "Server":
+        plan = self.placement_plan
+        if plan is not None:
+            hosts = plan.servers_for(target)
+            if self.server_id not in hosts:
+                # No local replica: proxy the RPC to a hosting server
+                # over the inter-server fabric.
+                self.rpc_proxied += 1
+                if len(hosts) == 1:
+                    return self.peers[hosts[0]]
+                return self.peers[hosts[int(self.rng.integers(len(hosts)))]]
+            if len(hosts) == 1 or self.rng.random() < self.config.locality:
+                return self
+            others = [sid for sid in hosts if sid != self.server_id]
+            return self.peers[others[int(self.rng.integers(len(others)))]]
         if len(self.peers) == 1 or self.rng.random() < self.config.locality:
             return self
         others = [p for p in self.peers if p is not self]
@@ -426,7 +454,7 @@ class Server:
         if self.resilience is not None:
             _ResilientCall(self, rec, village, target).launch()
             return
-        callee = self._pick_callee()
+        callee = self._pick_callee(target)
 
         def respond(child: RequestRecord) -> None:
             self._deliver_response(callee, child, village, rec)
@@ -703,7 +731,7 @@ class _ResilientCall:
     def _issue(self, exclude: Optional[int], hedge: bool) -> None:
         server = self.server
         started = server.engine.now
-        callee = server._pick_callee()
+        callee = server._pick_callee(self.target)
 
         def respond(child: RequestRecord) -> None:
             server._deliver_response(
