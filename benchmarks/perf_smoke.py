@@ -13,6 +13,13 @@ more than ``--tolerance`` (default 25%) over the baseline ratio.  The
 absolute numbers are still recorded for eyeballing, and p99 is checked
 exactly — it is deterministic, so any drift is a behaviour change.
 
+A second leg benchmarks the ``repro.hybrid`` fast path at a longer
+horizon into ``BENCH_hybrid.json``: the hybrid/detailed wall ratio must
+stay above the committed ``min_speedup`` floor (a same-host ratio, like
+the overhead gate), its deterministic outputs are checked exactly, and
+``hybrid_equivalence`` enforces the byte-identity contracts (tol=0 and
+faulted runs must replay the plain runs event-for-event).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py --check
@@ -36,6 +43,7 @@ from repro.systems.configs import UMANYCORE               # noqa: E402
 from repro.workloads.deathstar import social_network_app  # noqa: E402
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_faults.json"
+HYBRID_BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_hybrid.json"
 
 #: Fixed mid-load point: reduced-scale uManycore at ~60% of saturation.
 CONFIG = replace(UMANYCORE, n_cores=128, n_clusters=8)
@@ -43,6 +51,10 @@ RPS = 15_000.0
 DURATION_S = 0.008
 SEED = 11
 REPEATS = 3
+
+#: The hybrid speedup leg needs a run that outlives detection +
+#: calibration by a healthy margin, so it gets its own duration.
+HYBRID_DURATION_S = 0.15
 
 
 def _schedule() -> FaultSchedule:
@@ -181,6 +193,85 @@ def dc_equivalence() -> list:
     return failures
 
 
+def _hybrid_run(duration_s: float, hybrid):
+    sim = ClusterSimulation(CONFIG, social_network_app("Text"),
+                            rps_per_server=RPS, n_servers=1,
+                            duration_s=duration_s, seed=SEED,
+                            hybrid=hybrid)
+    t0 = time.perf_counter()
+    result = sim.run()
+    return time.perf_counter() - t0, result
+
+
+def hybrid_equivalence() -> list:
+    """Check the hybrid fast path's byte-identity contracts.
+
+    * ``tol=0`` can never converge, so an armed-but-idle hybrid run
+      must reproduce the plain run exactly (modulo its stats block).
+    * A faulted run must never commit (the structural guard sees the
+      injector) and must reproduce the faulted plain run exactly.
+
+    Returns:
+        A list of failure strings (empty when equivalent).
+    """
+    from repro.hybrid import HybridConfig
+
+    failures = []
+    got = _hybrid_run(DURATION_S, HybridConfig(tol=0.0))[1].as_dict()
+    stats = got.pop("hybrid", None)
+    if stats is None:
+        failures.append("tol=0 hybrid run is missing its stats block")
+    elif stats["commits"] or stats["roots_elided"]:
+        failures.append("tol=0 hybrid run committed/elided "
+                        "(the never-converge contract is broken)")
+    if got != _run(faulted=False)[1].as_dict():
+        failures.append("tol=0 hybrid run diverges from the plain run")
+
+    sim = ClusterSimulation(CONFIG, social_network_app("Text"),
+                            rps_per_server=RPS, n_servers=1,
+                            duration_s=DURATION_S, seed=SEED,
+                            hybrid=HybridConfig())
+    sim.install_faults(_schedule(), ResilienceConfig(
+        timeout_ns=600_000.0, max_retries=3,
+        hedge_delay_ns=1_000_000.0))
+    got = sim.run().as_dict()
+    stats = got.pop("hybrid", None)
+    if stats is None:
+        failures.append("faulted hybrid run is missing its stats block")
+    elif stats["commits"] or stats["roots_elided"]:
+        failures.append("faulted hybrid run committed past the "
+                        "structural guard")
+    if got != _run(faulted=True)[1].as_dict():
+        failures.append("faulted hybrid run diverges from the faulted "
+                        "plain run")
+    return failures
+
+
+def measure_hybrid() -> dict:
+    """Best-of-N walls for the hybrid speedup leg (default tolerance,
+    longer horizon); deterministic fields come from the last run."""
+    from repro.hybrid import HybridConfig
+
+    det_walls, hyb_walls = [], []
+    det = hyb = None
+    for __ in range(REPEATS):
+        wall, det = _hybrid_run(HYBRID_DURATION_S, None)
+        det_walls.append(wall)
+        wall, hyb = _hybrid_run(HYBRID_DURATION_S, HybridConfig())
+        hyb_walls.append(wall)
+    stats = hyb.hybrid_stats
+    return {
+        "detailed_wall_s": round(min(det_walls), 4),
+        "hybrid_wall_s": round(min(hyb_walls), 4),
+        "speedup": round(min(det_walls) / min(hyb_walls), 4),
+        "detailed_p99_us": round(det.p99_ns / 1e3, 3),
+        "hybrid_p99_us": round(hyb.p99_ns / 1e3, 3),
+        "roots_elided": stats["roots_elided"],
+        "calls_elided": stats["calls_elided"],
+        "aborts": stats["aborts"],
+    }
+
+
 def main() -> int:
     """Entry point; returns the process exit code."""
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -196,6 +287,8 @@ def main() -> int:
 
     measured = measure()
     print("measured:", json.dumps(measured, indent=2))
+    hybrid = measure_hybrid()
+    print("hybrid:", json.dumps(hybrid, indent=2))
 
     if args.update_baseline:
         doc = {
@@ -209,13 +302,25 @@ def main() -> int:
         }
         BASELINE_PATH.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"baseline written to {BASELINE_PATH}")
+        hdoc = {
+            "schema": 1,
+            "bench": "hybrid_speedup_smoke",
+            "workload": {"system": CONFIG.name, "n_cores": CONFIG.n_cores,
+                         "rps_per_server": RPS,
+                         "duration_s": HYBRID_DURATION_S,
+                         "seed": SEED, "repeats": REPEATS},
+            "baseline": hybrid,
+            "gate": {"min_speedup": 3.0},
+        }
+        HYBRID_BASELINE_PATH.write_text(json.dumps(hdoc, indent=2) + "\n")
+        print(f"hybrid baseline written to {HYBRID_BASELINE_PATH}")
         return 0
 
     doc = json.loads(BASELINE_PATH.read_text())
     base = doc["baseline"]
     tol = doc["tolerance"]["overhead_ratio_regression"]
     failures = (runner_equivalence() + policy_equivalence()
-                + dc_equivalence())
+                + dc_equivalence() + hybrid_equivalence())
     limit = base["overhead_ratio"] * (1.0 + tol)
     if measured["overhead_ratio"] > limit:
         failures.append(
@@ -228,13 +333,26 @@ def main() -> int:
         if measured[key] != base[key]:
             failures.append(f"deterministic output drifted: {key} "
                             f"{measured[key]} != baseline {base[key]}")
+    hdoc = json.loads(HYBRID_BASELINE_PATH.read_text())
+    hbase = hdoc["baseline"]
+    min_speedup = hdoc["gate"]["min_speedup"]
+    if hybrid["speedup"] < min_speedup:
+        failures.append(
+            f"hybrid fast-path speedup regressed: "
+            f"{hybrid['speedup']:.2f}x < {min_speedup:.1f}x required")
+    for key in ("detailed_p99_us", "hybrid_p99_us", "roots_elided",
+                "calls_elided", "aborts"):
+        if hybrid[key] != hbase[key]:
+            failures.append(f"deterministic hybrid output drifted: {key} "
+                            f"{hybrid[key]} != baseline {hbase[key]}")
     if failures:
         print("PERF SMOKE FAILED")
         for f in failures:
             print(" -", f)
         return 1
     print(f"perf smoke OK (overhead {measured['overhead_ratio']:.3f}x, "
-          f"limit {limit:.3f}x)")
+          f"limit {limit:.3f}x; hybrid {hybrid['speedup']:.2f}x, "
+          f"floor {min_speedup:.1f}x)")
     return 0
 
 

@@ -139,6 +139,19 @@ class NullCheckContext:
     def compute_segment(self, village, rec, duration_ns: float) -> None:
         """A compute segment was scheduled for ``duration_ns``."""
 
+    # --- hybrid fast path (repro.hybrid)
+    def hybrid_commit(self, service: str) -> None:
+        """The controller committed ``service`` to analytic mode."""
+
+    def hybrid_abort(self, reason: str) -> None:
+        """The controller aborted back to detailed simulation."""
+
+    def hybrid_elide_root(self) -> None:
+        """A root request completed analytically (no per-event sim)."""
+
+    def hybrid_elide_call(self, service: str) -> None:
+        """A downstream RPC was answered analytically."""
+
     # --- lifecycle
     def finalize(self, sim=None, drained: bool = True) -> List[Violation]:
         """Run the drain-time balance checks; returns violations."""
@@ -233,6 +246,10 @@ class CheckContext(NullCheckContext):
         self._bypasses_seen = 0
         self._lb_routed: Dict[int, int] = {}
         self._lb_scales = 0
+        self._hybrid_commits = 0
+        self._hybrid_aborts = 0
+        self._hybrid_roots_elided = 0
+        self._hybrid_calls_elided = 0
         self._finalized = False
 
     # ------------------------------------------------------------ reporting
@@ -582,6 +599,24 @@ class CheckContext(NullCheckContext):
                 "lb-scale", "scaling emptied the active server set",
                 where="lb")
 
+    # ------------------------------------------------------ hybrid fast path
+
+    def hybrid_commit(self, service: str) -> None:
+        self.stats.checks += 1
+        self._hybrid_commits += 1
+
+    def hybrid_abort(self, reason: str) -> None:
+        self.stats.checks += 1
+        self._hybrid_aborts += 1
+
+    def hybrid_elide_root(self) -> None:
+        self.stats.checks += 1
+        self._hybrid_roots_elided += 1
+
+    def hybrid_elide_call(self, service: str) -> None:
+        self.stats.checks += 1
+        self._hybrid_calls_elided += 1
+
     # --------------------------------------------------------------- faults
 
     def fault_applied(self, event, now_ns: float) -> None:
@@ -745,6 +780,42 @@ class CheckContext(NullCheckContext):
                         f"autoscaler logged {len(scaler.events)} events "
                         f"but the checker saw {self._lb_scales}",
                         where="lb")
+        hybrid = getattr(sim, "hybrid", None)
+        if hybrid is not None:
+            # Hybrid fast-path ledger: the controller's own counters and
+            # the hook counts must agree, an elided completion exists for
+            # every elided root (they feed the same recorder/root_done
+            # paths, so the root ledger above already balances), and a
+            # committed run under faults/autoscaling is forbidden.
+            self.stats.checks += 1
+            if hybrid.commits != self._hybrid_commits:
+                self.violation(
+                    "hybrid", f"controller committed {hybrid.commits} "
+                    f"service(s) but the checker saw "
+                    f"{self._hybrid_commits}", where="hybrid")
+            if hybrid.aborts != self._hybrid_aborts:
+                self.violation(
+                    "hybrid", f"controller aborted {hybrid.aborts} "
+                    f"time(s) but the checker saw {self._hybrid_aborts}",
+                    where="hybrid")
+            if hybrid.roots_elided != self._hybrid_roots_elided:
+                self.violation(
+                    "hybrid", f"controller elided {hybrid.roots_elided} "
+                    f"root(s) but the checker saw "
+                    f"{self._hybrid_roots_elided}", where="hybrid")
+            if hybrid.calls_elided != self._hybrid_calls_elided:
+                self.violation(
+                    "hybrid", f"controller elided {hybrid.calls_elided} "
+                    f"call(s) but the checker saw "
+                    f"{self._hybrid_calls_elided}", where="hybrid")
+            if hybrid.committed and (getattr(sim, "injector", None)
+                                     is not None
+                                     or getattr(sim, "autoscaler", None)
+                                     is not None):
+                self.violation(
+                    "hybrid", "services still committed in a faulted/"
+                    "autoscaled run (structural guard failed)",
+                    where="hybrid")
         injector = getattr(sim, "injector", None)
         if injector is not None:
             self.stats.checks += 1

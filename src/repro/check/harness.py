@@ -63,6 +63,7 @@ class Trial:
     lb: str = "off"                # "off" or a front-end LB policy
     replication: int = 0           # service replicas (0 = everywhere)
     autoscale: bool = False        # reactive server autoscaling
+    hybrid: bool = False           # arm the analytic fast path
 
     def describe(self) -> str:
         """One-line repro of this trial — valid ``Trial(...)`` syntax, so
@@ -90,6 +91,8 @@ class Trial:
             parts.append(f"replication={self.replication}")
         if self.autoscale:
             parts.append("autoscale=True")
+        if self.hybrid:
+            parts.append("hybrid=True")
         return "Trial(" + ", ".join(parts) + ")"
 
 
@@ -152,11 +155,20 @@ def run_trial(trial: Trial) -> CheckContext:
         dc = DcConfig(lb=trial.lb, replication=trial.replication,
                       autoscale=trial.autoscale,
                       autoscale_interval_ns=200_000.0)
+    hybrid = None
+    if trial.hybrid:
+        from repro.hybrid import HybridConfig
+
+        # Aggressive knobs so commits actually happen inside a 2-4 ms
+        # trial: the point is to exercise the elided event paths and
+        # their conservation ledgers, not to be a good estimator.
+        hybrid = HybridConfig(tol=0.5, windows=3, min_samples=5,
+                              window_ns=300_000.0, calibration_roots=10)
     sim = ClusterSimulation(
         _trial_config(trial), _app(trial.app), rps_per_server=trial.rps,
         n_servers=trial.n_servers, duration_s=trial.duration_s,
         seed=trial.seed, arrivals=trial.arrivals, tracer=tracer,
-        check=check, dc=dc)
+        check=check, dc=dc, hybrid=hybrid)
     if trial.fault_rate > 0:
         from repro.faults import FaultSchedule, fault_inventory
 
@@ -165,14 +177,7 @@ def run_trial(trial: Trial) -> CheckContext:
             seed=trial.seed, duration_ns=trial.duration_s * 1e9,
             rate_per_s=trial.fault_rate, detection_ns=50_000.0,
             **inventory))
-    try:
-        sim.run()
-    except ValueError as exc:
-        # Every completion fell inside the warm-up window: the summary is
-        # undefined but the event checks and finalize already ran —
-        # inconclusive for latency, conclusive for invariants.
-        if "samples" not in str(exc):
-            raise
+    sim.run()
     return check
 
 
@@ -196,7 +201,8 @@ def draw_trial(rng: np.random.Generator,
         core_bypass=bool(rng.random() < 0.25),
         lb=str(rng.choice(LBS)),
         replication=int(rng.choice(REPLICATIONS)),
-        autoscale=bool(rng.random() < 0.25))
+        autoscale=bool(rng.random() < 0.25),
+        hybrid=bool(rng.random() < 0.25))
 
 
 ProgressFn = Callable[[int, Trial, CheckContext], None]
@@ -237,8 +243,8 @@ def shrink(trial: Trial,
 
     Tries one axis at a time, in order of how much each simplifies the
     repro: drop the fault schedule, reset the policy and dc axes,
-    drop tracing, halve the duration (twice), go to one server, swap in
-    the simplest app, fall back to
+    disarm the hybrid fast path, drop tracing, halve the duration
+    (twice), go to one server, swap in the simplest app, fall back to
     Poisson arrivals, and lower the load.  An axis change is kept only
     when the reduced trial still fails.
 
@@ -259,6 +265,7 @@ def shrink(trial: Trial,
         lambda t: replace(t, dispatch="rr", rq_policy="fcfs",
                           steal="off", core_bypass=False),
         lambda t: replace(t, lb="off", replication=0, autoscale=False),
+        lambda t: replace(t, hybrid=False),
         lambda t: replace(t, trace=False),
         lambda t: replace(t, duration_s=t.duration_s / 2),
         lambda t: replace(t, duration_s=t.duration_s / 2),

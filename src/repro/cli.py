@@ -40,7 +40,7 @@ SYSTEMS = {
 EXPERIMENTS = [
     "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
     "fig09", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-    "figD", "figF", "figS", "sec68", "power", "all",
+    "figD", "figF", "figH", "figS", "sec68", "power", "all",
 ]
 
 
@@ -127,6 +127,19 @@ def _dc_setup(args):
                     min_servers=getattr(args, "min_servers", 1))
 
 
+def _hybrid_setup(args):
+    """Translate the hybrid CLI flags into a HybridConfig (None = off).
+
+    The fast path only arms when ``--hybrid`` was given, so plain runs
+    keep the fully detailed event path byte-for-byte.
+    """
+    if not getattr(args, "hybrid", False):
+        return None
+    from repro.hybrid import HybridConfig
+
+    return HybridConfig(tol=args.hybrid_tol)
+
+
 def _policy_overrides(args) -> dict:
     """Translate the scheduling flags into SystemConfig field overrides.
 
@@ -170,7 +183,8 @@ def _run_simulation(args, tracer=None, metrics_interval_ns=None):
                             seed=args.seed, arrivals=args.arrivals,
                             tracer=tracer,
                             metrics_interval_ns=metrics_interval_ns,
-                            check=check, dc=_dc_setup(args))
+                            check=check, dc=_dc_setup(args),
+                            hybrid=_hybrid_setup(args))
     schedule, resilience = _fault_setup(args, sim)
     if schedule or resilience is not None:
         sim.install_faults(schedule, resilience)
@@ -207,6 +221,16 @@ def _print_summary(result, json_mode: bool) -> None:
               f"{int(fs['blackholed'])} blackholed, "
               f"{int(fs['icn_dropped'])}/{int(fs['nic_dropped'])} "
               f"icn/nic drops")
+    if result.hybrid_stats is not None:
+        hs = result.hybrid_stats
+        committed = ", ".join(hs["services_committed"]) or "-"
+        at = (f" @{hs['committed_at_ns'] / 1e6:.1f} ms"
+              if hs["committed_at_ns"] is not None else "")
+        print(f"hybrid     : state={hs['state']}{at}, "
+              f"committed=[{committed}], "
+              f"{hs['roots_elided']} roots / {hs['calls_elided']} calls "
+              f"elided (~{hs['events_elided']} events), "
+              f"{hs['aborts']} aborts")
     if result.dc_stats is not None:
         dcs = result.dc_stats
         extra = ""
@@ -337,7 +361,8 @@ def cmd_sweep(args) -> None:
         loads=tuple(float(x) for x in args.loads.split(",")),
         seeds=tuple(int(x) for x in args.seeds.split(",")),
         n_servers=args.servers, duration_s=args.duration,
-        arrivals=args.arrivals, dc=_dc_setup(args))
+        arrivals=args.arrivals, dc=_dc_setup(args),
+        hybrid=_hybrid_setup(args))
     points = spec.points()
     cache = None if args.no_cache or args.check else ResultCache()
     width = len(str(len(points)))
@@ -384,7 +409,7 @@ def cmd_experiment(args) -> None:
         "fig17": "fig17_tail_to_avg", "fig18": "fig18_throughput",
         "fig19": "fig19_sensitivity", "fig20": "fig20_synthetic",
         "figD": "figD_datacenter", "figF": "figF_faults",
-        "figS": "figS_policies",
+        "figH": "figH_hybrid", "figS": "figS_policies",
         "sec68": "sec68_iso_area", "power": "power_area",
         "all": "run_all",
     }
@@ -393,6 +418,11 @@ def cmd_experiment(args) -> None:
         from repro.experiments.common import set_policy_overrides
 
         set_policy_overrides(**overrides)
+    hybrid = _hybrid_setup(args)
+    if hybrid is not None:
+        from repro.experiments.common import set_hybrid_override
+
+        set_hybrid_override(hybrid)
     module = importlib.import_module(f"repro.experiments.{mapping[args.id]}")
     if args.id == "all":
         module.main(jobs=args.jobs, use_cache=not args.no_cache,
@@ -477,6 +507,8 @@ def cmd_list(args) -> None:
     print("\ndatacenter tier (repro.dc):")
     print(f"  --lb       : {', '.join(LB_NAMES)}")
     print("  --placement K / --autoscale / --min-servers N")
+    print("\nhybrid fast path (repro.hybrid):")
+    print("  --hybrid / --hybrid-tol T  (0 = byte-identical to detailed)")
     print("\nexperiments:", ", ".join(EXPERIMENTS))
 
 
@@ -545,6 +577,20 @@ def build_parser() -> argparse.ArgumentParser:
                        default=1, metavar="N",
                        help="autoscale floor (default 1)")
 
+    def add_hybrid_args(p) -> None:
+        g = p.add_argument_group(
+            "hybrid", "analytic steady-state fast path (repro.hybrid); "
+                      "detailed simulation until convergence, then "
+                      "calibrated empirical models answer completions, "
+                      "guarded by drift/fault predicates")
+        g.add_argument("--hybrid", action="store_true",
+                       help="arm the fast path (off = fully detailed)")
+        g.add_argument("--hybrid-tol", dest="hybrid_tol", type=float,
+                       default=0.2, metavar="T",
+                       help="steady-state tolerance (relative; 0 never "
+                            "converges, i.e. byte-identical to "
+                            "detailed; default 0.2)")
+
     def add_fault_args(p, default_rate: float = 0.0) -> None:
         g = p.add_argument_group(
             "faults", "deterministic fault injection (repro.faults); any "
@@ -587,6 +633,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_run_args(sim)
     add_policy_args(sim)
     add_dc_args(sim)
+    add_hybrid_args(sim)
     add_fault_args(sim)
     sim.add_argument("--trace-out", metavar="FILE", default=None,
                      help="also trace the run and write a Chrome "
@@ -598,6 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_run_args(tr)
     add_policy_args(tr)
     add_dc_args(tr)
+    add_hybrid_args(tr)
     add_fault_args(tr)
     tr.add_argument("--out", required=True, metavar="FILE",
                     help="Chrome trace-event JSON output path "
@@ -615,6 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_run_args(flt)
     add_policy_args(flt)
     add_dc_args(flt)
+    add_hybrid_args(flt)
     add_fault_args(flt, default_rate=200.0)
     flt.add_argument("--quiet-schedule", dest="describe_faults",
                      action="store_false", default=True,
@@ -651,6 +700,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the results as a JSON array")
     add_policy_args(swp)
     add_dc_args(swp)
+    add_hybrid_args(swp)
     swp.set_defaults(func=cmd_sweep)
 
     dcp = sub.add_parser(
@@ -660,6 +710,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_run_args(dcp)
     add_policy_args(dcp)
     add_dc_args(dcp)
+    add_hybrid_args(dcp)
     add_fault_args(dcp)
     dcp.set_defaults(func=cmd_dc)
 
@@ -679,6 +730,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="reduced scales — smoke-test the figure "
                           "('all' and the settings-aware figures)")
     add_policy_args(exp)
+    add_hybrid_args(exp)
     exp.set_defaults(func=cmd_experiment)
 
     val = sub.add_parser(

@@ -93,6 +93,9 @@ class Village:
             observe = getattr(getattr(self.rq, "policy", None),
                               "observe", None)
         self._observe_segment = observe
+        #: Service-time tap of the hybrid fast path (repro.hybrid); None
+        #: outside hybrid runs so the hot path pays one attribute load.
+        self.hybrid_observe = None
         self.completed = 0
         self.steals = 0
         self.bypasses = 0
@@ -292,6 +295,8 @@ class Village:
             duration *= self.degrade_factor
         if self._observe_segment is not None:
             self._observe_segment(rec.service, duration)
+        if self.hybrid_observe is not None:
+            self.hybrid_observe(rec.service, duration)
         rec.last_core = (self.village_id, core.core_id)
         rec.has_run = True
         core.busy_ns += duration

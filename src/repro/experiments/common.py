@@ -34,6 +34,18 @@ def set_policy_overrides(**overrides) -> None:
     _POLICY_OVERRIDES.update(overrides)
 
 
+#: Hybrid fast-path config folded into every point built by
+#: :func:`point_for` (the ``repro experiment --hybrid`` flag); None by
+#: default so figure tables stay byte-identical.
+_HYBRID_OVERRIDE: List[object] = [None]
+
+
+def set_hybrid_override(hybrid) -> None:
+    """Install a :class:`repro.hybrid.HybridConfig` applied to every
+    subsequently built point; pass None to clear it."""
+    _HYBRID_OVERRIDE[0] = hybrid
+
+
 @dataclass(frozen=True)
 class Settings:
     """Simulation scale knobs shared by the latency experiments.
@@ -67,6 +79,8 @@ def point_for(config: SystemConfig, app: AppSpec, rps: float,
     """
     if _POLICY_OVERRIDES:
         config = replace(config, **_POLICY_OVERRIDES)
+    if _HYBRID_OVERRIDE[0] is not None and "hybrid" not in overrides:
+        overrides["hybrid"] = _HYBRID_OVERRIDE[0]
     return SweepPoint(config=config, app=app, rps=float(rps),
                       n_servers=settings.n_servers,
                       duration_s=settings.duration_s, seed=settings.seed,

@@ -17,8 +17,9 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.experiments.common import Settings, format_table, geomean, \
     point_for
+from repro.hybrid import saturation_estimate_rps
 from repro.metrics.throughput import qos_threshold_ns
-from repro.runner import SweepPoint, run_points
+from repro.runner import SweepPoint, execution, run_points
 from repro.systems.configs import SCALEOUT, SERVERCLASS, UMANYCORE
 from repro.workloads.deathstar import social_network_app
 
@@ -32,7 +33,8 @@ def _passes(result, threshold_ns: float) -> bool:
 
 def max_throughputs(pairs: Sequence[Tuple], settings: Settings,
                     low: float = 1000.0, high: float = 300_000.0,
-                    iterations: int = 8) -> List[float]:
+                    iterations: int = 8,
+                    speculate: bool = None) -> List[float]:
     """Lockstep binary search over many (config, app) pairs at once.
 
     Every round batches the probe loads of *all* still-active pairs
@@ -41,18 +43,34 @@ def max_throughputs(pairs: Sequence[Tuple], settings: Settings,
     of simulations the serial per-pair search would — the returned
     loads are independent of the jobs count.
 
+    With ``speculate`` (the default whenever the execution context has
+    more than one worker), each round *also* batches the probe the
+    next bisection level would issue if the current one lands the way
+    the analytic M/G/k saturation estimate predicts
+    (:func:`repro.hybrid.saturation_estimate_rps`: pass below the
+    estimated saturating load, fail above).  A correct prediction
+    consumes two levels per round; a wrong one wastes the speculative
+    point.  Probes are deterministic simulations keyed only by their
+    load, so the accepted bracket sequence — and the returned loads —
+    are byte-identical with speculation on, off, or partially wrong.
+
     Args:
         pairs: (config, app) pairs to search, in result order.
         settings: Scale knobs for the probe runs.
         low: Load that must pass for the search to proceed; returned
             as-is for pairs that fail it.
         high: Upper bracket of the search (never probed directly).
-        iterations: Bisection rounds; the bracket shrinks 2^-it.
+        iterations: Bisection levels; the bracket shrinks 2^-it.
+        speculate: Batch analytic-predicted next-level probes; None
+            resolves to ``execution().jobs > 1`` (serial runs keep
+            the classic one-probe-per-round schedule exactly).
 
     Returns:
         The largest QoS-compliant per-server load found for each pair,
         positionally aligned with ``pairs``.
     """
+    if speculate is None:
+        speculate = execution().jobs > 1
     # Round 0: contention-free calibration sets each pair's threshold.
     thresholds = [
         qos_threshold_ns(r.mean_ns) for r in run_points(
@@ -65,21 +83,44 @@ def max_throughputs(pairs: Sequence[Tuple], settings: Settings,
     highs = [high] * len(pairs)
     first = run_points([point_for(config, app, low, settings)
                         for config, app in pairs])
-    active = [i for i, r in enumerate(first)
-              if _passes(r, thresholds[i])]
-    # Bisection rounds: one batched probe per round for every live pair.
-    for __ in range(iterations):
-        if not active:
-            break
-        mids = [(lows[i] + highs[i]) / 2.0 for i in active]
-        probes = run_points(
-            [point_for(pairs[i][0], pairs[i][1], mid, settings)
-             for i, mid in zip(active, mids)])
-        for i, mid, r in zip(active, mids, probes):
+    saturation = [saturation_estimate_rps(config, app)
+                  for config, app in pairs] if speculate else None
+    remaining = {i: iterations for i, r in enumerate(first)
+                 if _passes(r, thresholds[i])}
+    # Bisection rounds: one batched probe per round for every live
+    # pair (plus its predicted next-level probe when speculating).
+    while remaining:
+        plan, batch = [], []
+        for i in sorted(remaining):
+            config, app = pairs[i]
+            mid = (lows[i] + highs[i]) / 2.0
+            batch.append(point_for(config, app, mid, settings))
+            spec = None
+            if speculate and remaining[i] > 1:
+                spec = ((mid + highs[i]) / 2.0 if mid <= saturation[i]
+                        else (lows[i] + mid) / 2.0)
+                batch.append(point_for(config, app, spec, settings))
+            plan.append((i, mid, spec))
+        results = iter(run_points(batch))
+        for i, mid, spec in plan:
+            r = next(results)
+            spec_r = next(results) if spec is not None else None
             if _passes(r, thresholds[i]):
                 lows[i] = mid
             else:
                 highs[i] = mid
+            remaining[i] -= 1
+            if spec_r is not None and remaining[i] > 0 \
+                    and spec == (lows[i] + highs[i]) / 2.0:
+                # Prediction was right: the speculative result IS the
+                # next level's probe — consume it for free.
+                if _passes(spec_r, thresholds[i]):
+                    lows[i] = spec
+                else:
+                    highs[i] = spec
+                remaining[i] -= 1
+            if remaining[i] <= 0:
+                del remaining[i]
     return lows
 
 

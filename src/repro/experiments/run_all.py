@@ -38,11 +38,12 @@ from repro.experiments import (
     fig19_sensitivity,
     fig20_synthetic,
     figD_datacenter,
+    figH_hybrid,
     figS_policies,
     power_area,
     sec68_iso_area,
 )
-from repro.experiments.common import Settings
+from repro.experiments.common import Settings, set_hybrid_override
 from repro.runner import ResultCache, code_version, digest, executing, \
     fingerprint
 
@@ -66,6 +67,7 @@ SECTIONS = [
     # Appended last so earlier sections' output stays a stable prefix.
     ("Figure S (policies)", figS_policies.main),
     ("Figure D (datacenter)", figD_datacenter.main),
+    ("Figure H (hybrid)", figH_hybrid.main),
 ]
 
 
@@ -84,7 +86,8 @@ def _run_section(title, runner, settings) -> None:
         fig17_tail_to_avg.main(settings=settings, progress=False)
     elif runner in (fig15_breakdown.main, fig19_sensitivity.main,
                     fig20_synthetic.main, sec68_iso_area.main,
-                    figS_policies.main, figD_datacenter.main):
+                    figS_policies.main, figD_datacenter.main,
+                    figH_hybrid.main):
         runner(settings=settings)
     else:
         runner()
@@ -153,11 +156,23 @@ def parse_args(argv=None) -> argparse.Namespace:
                     help="run every simulation point under the "
                          "invariant sanitizer (implies --no-cache; "
                          "any violation aborts)")
+    ap.add_argument("--hybrid", action="store_true",
+                    help="arm the repro.hybrid fast path on every "
+                         "sweep point (results are approximate; "
+                         "Figure H quantifies the error)")
+    ap.add_argument("--hybrid-tol", dest="hybrid_tol", type=float,
+                    default=0.2, metavar="T",
+                    help="steady-state tolerance for --hybrid "
+                         "(default 0.2)")
     return ap.parse_args(argv)
 
 
 if __name__ == "__main__":
     _args = parse_args()
+    if _args.hybrid:
+        from repro.hybrid import HybridConfig
+
+        set_hybrid_override(HybridConfig(tol=_args.hybrid_tol))
     main(quick=_args.quick, jobs=_args.jobs,
          use_cache=not _args.no_cache, resume=_args.resume,
          check=_args.check)

@@ -1,0 +1,27 @@
+"""repro.hybrid — analytic steady-state fast path with guard-and-abort.
+
+Once a service reaches steady state (detected over windowed telemetry),
+its per-event simulation is swapped for a calibrated empirical/M-G-k
+model that answers completion events analytically; cheap guards abort
+back to detailed simulation on drift, faults, or scaling actions.
+"""
+
+from repro.hybrid.config import HybridConfig
+from repro.hybrid.controller import HybridController
+from repro.hybrid.detector import SteadyStateDetector
+from repro.hybrid.model import (
+    EmpiricalDist,
+    MGkModel,
+    saturation_estimate_rps,
+    service_demand_ns,
+)
+
+__all__ = [
+    "HybridConfig",
+    "HybridController",
+    "SteadyStateDetector",
+    "EmpiricalDist",
+    "MGkModel",
+    "saturation_estimate_rps",
+    "service_demand_ns",
+]

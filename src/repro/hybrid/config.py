@@ -1,0 +1,57 @@
+"""Configuration of the hybrid analytic fast path (repro.hybrid)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Knobs of the steady-state fast path.
+
+    The defaults are deliberately conservative: the detector needs
+    ``windows`` consecutive telemetry windows whose statistics all sit
+    within ``tol`` relative deviation before any service is committed,
+    and a committed run aborts back to detailed simulation as soon as
+    the observed arrival rate drifts ``guard_factor * tol`` away from
+    the calibrated rate.
+
+    ``tol=0`` can never converge (no finite window of a stochastic
+    simulation has zero deviation), which is the determinism contract:
+    a ``tol=0`` hybrid run is byte-identical to a detailed run.
+    """
+
+    #: Relative tolerance for the steady-state declaration (0 = never).
+    tol: float = 0.2
+    #: Telemetry window length; 0 = auto-size from the run's warm-up
+    #: span and arrival rate at install time.
+    window_ns: float = 0.0
+    #: Consecutive stable windows required before committing.
+    windows: int = 4
+    #: Minimum root completions per window for it to count at all.
+    min_samples: int = 25
+    #: Abort when the committed arrival rate drifts beyond
+    #: ``guard_factor * tol`` relative to the calibration rate.
+    guard_factor: float = 2.0
+    #: After this many aborts the run stays detailed for good.
+    max_aborts: int = 2
+    #: Root-latency samples gathered *after* convergence before the
+    #: root service commits (tail quantiles need calibration mass that
+    #: the detection windows alone cannot provide).
+    calibration_roots: int = 300
+
+    def __post_init__(self):
+        if self.tol < 0:
+            raise ValueError(f"tol must be >= 0, got {self.tol}")
+        if self.window_ns < 0:
+            raise ValueError("window_ns must be >= 0")
+        if self.windows < 2:
+            raise ValueError("windows must be >= 2")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if self.guard_factor <= 0:
+            raise ValueError("guard_factor must be > 0")
+        if self.max_aborts < 1:
+            raise ValueError("max_aborts must be >= 1")
+        if self.calibration_roots < 1:
+            raise ValueError("calibration_roots must be >= 1")

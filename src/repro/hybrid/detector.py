@@ -1,0 +1,81 @@
+"""Steady-state detection over windowed telemetry series.
+
+The detector consumes one observation dict per telemetry window (one
+value per watched series: arrival rate, service-time EWMA, run-queue
+occupancy, ...) and declares convergence once the last ``windows``
+observations of *every* series sit within a relative tolerance band
+around their window mean, and no series is still strictly monotone
+across the whole band (a slow ramp can fit inside a wide band while
+clearly still trending).
+
+It is deliberately decoupled from the simulator: inputs are plain
+dicts, so tests can drive it with scripted non-stationary series.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+
+class SteadyStateDetector:
+    """Declares steady state after ``windows`` stable telemetry windows."""
+
+    def __init__(self, tol: float, windows: int, floors: Optional[Dict[str, float]] = None):
+        if windows < 2:
+            raise ValueError("windows must be >= 2")
+        self.tol = tol
+        self.windows = windows
+        #: Per-series absolute floor added to the relative band so
+        #: near-zero series (e.g. RQ occupancy at low load) do not
+        #: demand impossible absolute stability.
+        self.floors = dict(floors or {})
+        self._history: Dict[str, deque] = {}
+        self.windows_seen = 0
+        self.converged = False
+
+    def reset(self):
+        """Re-arm after an abort: forget all history and start over."""
+        self._history.clear()
+        self.windows_seen = 0
+        self.converged = False
+
+    def observe(self, window: Dict[str, float]) -> bool:
+        """Feed one telemetry window; returns True once steady state holds.
+
+        Once converged the detector latches until :meth:`reset`.
+        """
+        if self.converged:
+            return True
+        self.windows_seen += 1
+        for name, value in window.items():
+            hist = self._history.get(name)
+            if hist is None:
+                hist = self._history[name] = deque(maxlen=self.windows)
+            hist.append(float(value))
+        if self.tol <= 0 or not self._history:
+            return False
+        for name, hist in self._history.items():
+            if len(hist) < self.windows:
+                return False
+            if not self._series_stable(name, hist):
+                return False
+        self.converged = True
+        return True
+
+    def _series_stable(self, name: str, hist) -> bool:
+        values = list(hist)
+        mean = sum(values) / len(values)
+        floor = self.floors.get(name, 1e-12)
+        band = self.tol * max(abs(mean), floor)
+        if any(abs(v - mean) > band for v in values):
+            return False
+        # A strictly monotone run across the whole band is a ramp, not
+        # noise around a fixed point, even if it fits inside the band.
+        # Meaningless below 3 points (any two distinct values are
+        # "monotone"), where it would block convergence forever.
+        if len(values) < 3:
+            return True
+        increasing = all(b > a for a, b in zip(values, values[1:]))
+        decreasing = all(b < a for a, b in zip(values, values[1:]))
+        return not (increasing or decreasing)

@@ -29,6 +29,23 @@ class LatencySummary:
     def tail_to_average(self) -> float:
         return self.p99 / self.mean if self.mean > 0 else 0.0
 
+    @property
+    def is_empty(self) -> bool:
+        """True for the zero-sample sentinel (see :meth:`empty`)."""
+        return self.count == 0
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        """Explicit zero-sample sentinel.
+
+        Windows with no post-warm-up completions are a legitimate
+        outcome (hybrid-elided low-load windows, autoscaler drains, a
+        warm-up cutoff past the last completion), so summarization
+        degrades to this all-zeros summary instead of raising.
+        """
+        return cls(count=0, mean=0.0, p50=0.0, p99=0.0, p999=0.0,
+                   maximum=0.0)
+
     def as_dict(self) -> dict:
         return {"count": self.count, "mean": self.mean, "p50": self.p50,
                 "p99": self.p99, "p999": self.p999, "max": self.maximum}
@@ -60,13 +77,11 @@ class LatencyRecorder:
         return lats[times >= after_ns]
 
     def summary(self, after_ns: float = 0.0) -> LatencySummary:
+        """Summary of the post-cutoff samples; the
+        :meth:`LatencySummary.empty` sentinel when there are none."""
         lats = self.latencies(after_ns)
         if len(lats) == 0:
-            if self._latencies:
-                raise ValueError(
-                    f"all {len(self._latencies)} samples fall before the "
-                    f"warm-up cutoff ({self.name!r}, after_ns={after_ns:g})")
-            raise ValueError(f"no samples recorded ({self.name!r})")
+            return LatencySummary.empty()
         return LatencySummary(
             count=len(lats),
             mean=float(np.mean(lats)),
@@ -89,9 +104,7 @@ def pooled_summary(recorders, after_ns: float = 0.0) -> LatencySummary:
     pools = [r.latencies(after_ns) for r in recorders]
     lats = np.concatenate(pools) if pools else np.asarray([])
     if len(lats) == 0:
-        raise ValueError(
-            f"no samples across {len(recorders)} recorders "
-            f"(after_ns={after_ns:g})")
+        return LatencySummary.empty()
     return LatencySummary(
         count=len(lats),
         mean=float(np.mean(lats)),

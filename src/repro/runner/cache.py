@@ -28,7 +28,7 @@ from repro.metrics.latency import LatencySummary
 from repro.systems.cluster import RunResult
 
 #: Bump when the entry layout changes; mismatched entries are evicted.
-SCHEMA = 3
+SCHEMA = 4
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -78,6 +78,7 @@ def result_to_dict(result: RunResult) -> dict:
         "fault_stats": result.fault_stats,
         "sched_stats": result.sched_stats,
         "dc_stats": result.dc_stats,
+        "hybrid_stats": result.hybrid_stats,
     }
 
 
@@ -106,7 +107,8 @@ def result_from_dict(doc: dict) -> RunResult:
         completed=doc["completed"], rejected=doc["rejected"],
         offered=doc["offered"], warmup_ns=doc["warmup_ns"],
         failed=doc["failed"], fault_stats=doc["fault_stats"],
-        sched_stats=doc["sched_stats"], dc_stats=doc["dc_stats"])
+        sched_stats=doc["sched_stats"], dc_stats=doc["dc_stats"],
+        hybrid_stats=doc["hybrid_stats"])
 
 
 class ResultCache:

@@ -38,6 +38,7 @@ class SweepPoint:
     faults: Optional[object] = None         # FaultSchedule or None
     resilience: Optional[object] = None     # ResilienceConfig or None
     dc: Optional[object] = None             # repro.dc.DcConfig or None
+    hybrid: Optional[object] = None         # repro.hybrid.HybridConfig
     #: Run under the invariant sanitizer (repro.check).  Deliberately
     #: NOT part of :meth:`key`: checks observe the simulation without
     #: perturbing it, so the result is the same either way — but check
@@ -72,6 +73,7 @@ class SweepPoint:
             "faults": fingerprint(self.faults),
             "resilience": fingerprint(self.resilience),
             "dc": fingerprint(self.dc),
+            "hybrid": fingerprint(self.hybrid),
         })
 
     def run(self):
@@ -97,7 +99,7 @@ class SweepPoint:
                         warmup_fraction=self.warmup_fraction,
                         arrivals=self.arrivals, faults=self.faults,
                         resilience=self.resilience, check=checker,
-                        dc=self.dc)
+                        dc=self.dc, hybrid=self.hybrid)
 
 
 @dataclass(frozen=True)
@@ -120,6 +122,7 @@ class SweepSpec:
     warmup_fraction: float = 0.25
     arrivals: str = "poisson"
     dc: Optional[object] = None             # repro.dc.DcConfig or None
+    hybrid: Optional[object] = None         # repro.hybrid.HybridConfig
 
     def __post_init__(self):
         """Reject grids with an empty axis."""
@@ -144,7 +147,8 @@ class SweepSpec:
                        n_servers=self.n_servers,
                        duration_s=self.duration_s, seed=seed,
                        warmup_fraction=self.warmup_fraction,
-                       arrivals=self.arrivals, dc=self.dc)
+                       arrivals=self.arrivals, dc=self.dc,
+                       hybrid=self.hybrid)
             for seed in self.seeds
             for rps in self.loads
             for app in self.apps

@@ -48,6 +48,9 @@ class Engine:
         self._seq: int = 0
         self._running = False
         self.events_processed: int = 0
+        #: Estimated events the hybrid fast path avoided simulating
+        #: (maintained by :mod:`repro.hybrid`; 0 outside hybrid runs).
+        self.events_elided: int = 0
         #: Telemetry hook shared by every component built on this engine.
         #: Defaults to the no-op tracer; sites guard on ``tracer.enabled``
         #: so disabled tracing costs one attribute load per hook.

@@ -17,6 +17,8 @@ from repro.dc.config import DcConfig
 from repro.dc.lb import AffinityLB, FrontEndLB, get_lb_policy
 from repro.dc.placement import PlacementPlan
 from repro.faults import FaultInjector, FaultSchedule, ResilienceConfig
+from repro.hybrid.config import HybridConfig
+from repro.hybrid.controller import HybridController
 from repro.metrics.latency import LatencyRecorder, LatencySummary, \
     pooled_summary
 from repro.net.fabric import FabricConfig, InterServerFabric, StorageBackend
@@ -63,6 +65,10 @@ class RunResult:
     #: events, per-server/pooled tails); None when ``dc`` is off so
     #: non-dc output stays byte-identical to the pre-dc simulator.
     dc_stats: Optional[dict] = None
+    #: Hybrid fast-path stats (commits/aborts/events elided, per-service
+    #: models); None when ``hybrid`` is off so non-hybrid output stays
+    #: byte-identical to the pre-hybrid simulator.
+    hybrid_stats: Optional[dict] = None
 
     @property
     def throughput_rps(self) -> float:
@@ -124,6 +130,8 @@ class RunResult:
             d["sched"] = self.sched_stats
         if self.dc_stats is not None:
             d["dc"] = self.dc_stats
+        if self.hybrid_stats is not None:
+            d["hybrid"] = self.hybrid_stats
         return d
 
 
@@ -141,7 +149,8 @@ class ClusterSimulation:
                  faults: Optional[FaultSchedule] = None,
                  resilience: Optional[ResilienceConfig] = None,
                  check: Optional[NullCheckContext] = None,
-                 dc: Optional[DcConfig] = None):
+                 dc: Optional[DcConfig] = None,
+                 hybrid: Optional[HybridConfig] = None):
         if n_servers < 1:
             raise ValueError("n_servers must be >= 1")
         if not 0 <= warmup_fraction < 1:
@@ -227,6 +236,10 @@ class ClusterSimulation:
         if self.faults is not None:
             self.injector = FaultInjector(self.engine, self.servers,
                                           self.faults)
+        # Hybrid fast path (repro.hybrid): built last so its structural
+        # guards can see the injector/autoscaler; installed in run().
+        self.hybrid: Optional[HybridController] = \
+            HybridController(self, hybrid) if hybrid is not None else None
         if self.metrics is not None:
             self._register_gauges()
 
@@ -304,6 +317,10 @@ class ClusterSimulation:
             self._issue(server, arrival_ns)
 
     def _issue(self, server: Server, arrival_ns: float) -> None:
+        if self.hybrid is not None \
+                and self.hybrid.intercept_root(server, arrival_ns):
+            return
+
         def done(rec) -> None:
             if self.lb is not None:
                 self.lb.request_done(server.server_id)
@@ -342,6 +359,8 @@ class ClusterSimulation:
             self.injector.install()
         if self.autoscaler is not None:
             self.autoscaler.install()
+        if self.hybrid is not None:
+            self.hybrid.install()
         if self.metrics is not None:
             self.metrics.histogram("latency_ns")
             self.metrics.start_sampling(self.engine, self.metrics_interval_ns)
@@ -366,7 +385,9 @@ class ClusterSimulation:
             offered=self.offered, tracer=self.tracer, metrics=self.metrics,
             warmup_ns=warmup_ns, failed=self.failed,
             fault_stats=fault_stats, sched_stats=self._sched_stats(),
-            dc_stats=self._dc_stats(warmup_ns))
+            dc_stats=self._dc_stats(warmup_ns),
+            hybrid_stats=self.hybrid.stats()
+            if self.hybrid is not None else None)
 
     def _dc_stats(self, warmup_ns: float) -> Optional[dict]:
         """Datacenter-tier counters; None when ``dc`` is off (keeps the
@@ -468,7 +489,8 @@ def simulate(config: SystemConfig, app: AppSpec, rps_per_server: float,
              faults: Optional[FaultSchedule] = None,
              resilience: Optional[ResilienceConfig] = None,
              check: Optional[NullCheckContext] = None,
-             dc: Optional[DcConfig] = None) -> RunResult:
+             dc: Optional[DcConfig] = None,
+             hybrid: Optional[HybridConfig] = None) -> RunResult:
     """One-call wrapper: build the cluster, run it, return the result.
 
     Pass a :class:`repro.telemetry.Tracer` to capture spans and/or a
@@ -481,11 +503,13 @@ def simulate(config: SystemConfig, app: AppSpec, rps_per_server: float,
     A :class:`repro.dc.DcConfig` as ``dc`` switches on the datacenter
     tier — one shared arrival process routed through a front-end LB,
     service placement/replication, and (optionally) autoscaling.
+    A :class:`repro.hybrid.HybridConfig` as ``hybrid`` arms the analytic
+    steady-state fast path (guard-and-abort; see :mod:`repro.hybrid`).
     """
     sim = ClusterSimulation(config, app, rps_per_server, n_servers,
                             duration_s, seed, warmup_fraction, fabric_config,
                             arrivals=arrivals, tracer=tracer,
                             metrics_interval_ns=metrics_interval_ns,
                             faults=faults, resilience=resilience,
-                            check=check, dc=dc)
+                            check=check, dc=dc, hybrid=hybrid)
     return sim.run()

@@ -91,6 +91,10 @@ class Server:
         #: every call on the original unguarded path — the fault-free
         #: experiments never see a timeout event or an extra branch.
         self.resilience = None
+        #: Hybrid fast-path controller (:mod:`repro.hybrid`), armed by
+        #: the cluster harness when ``--hybrid`` is on.  None keeps the
+        #: RPC path branch-free apart from one attribute load.
+        self.hybrid = None
         self.rpc_timeouts = 0
         self.rpc_retries = 0
         self.rpc_hedges = 0
@@ -454,10 +458,30 @@ class Server:
         if self.resilience is not None:
             _ResilientCall(self, rec, village, target).launch()
             return
+        hybrid = self.hybrid
+        if hybrid is not None and hybrid.should_elide_call(target):
+            # Committed callee: answer the RPC analytically — no child
+            # request, no NIC/ICN/RQ events, just a sampled latency and
+            # the normal parent wakeup.
+            hybrid.elide_call(rec, village, target)
+            return
         callee = self._pick_callee(target)
 
-        def respond(child: RequestRecord) -> None:
-            self._deliver_response(callee, child, village, rec)
+        if hybrid is not None:
+            # Detailed call under an armed controller: record the
+            # parent-visible latency (issue -> resume) to calibrate the
+            # callee's analytic model.  The resume body is identical to
+            # the default one, so the event sequence does not change.
+            issued_ns = self.engine.now
+
+            def respond(child: RequestRecord) -> None:
+                self._deliver_response(
+                    callee, child, village, rec,
+                    on_resume=lambda: self._hybrid_resume(
+                        rec, village, target, issued_ns))
+        else:
+            def respond(child: RequestRecord) -> None:
+                self._deliver_response(callee, child, village, rec)
 
         child = self._make_request(rec.app_name, target, respond,
                                    depth=rec.depth + 1)
@@ -467,6 +491,14 @@ class Server:
             # trace so the span tree follows the RPC tree.
             tracer.begin_request(child, self.engine.now, parent=rec)
         self._send_call(village, child, callee, target)
+
+    def _hybrid_resume(self, parent: RequestRecord, village: Village,
+                       target: str, issued_ns: float) -> None:
+        """Default response wakeup plus one calibration observation."""
+        if self.hybrid is not None:
+            self.hybrid.observe_call(target, self.engine.now - issued_ns)
+        parent.advance_segment()
+        village.make_ready(parent)
 
     def _deliver_response(self, callee: "Server", child: RequestRecord,
                           parent_village: Village,
