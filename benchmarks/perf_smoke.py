@@ -20,6 +20,15 @@ the overhead gate), its deterministic outputs are checked exactly, and
 ``hybrid_equivalence`` enforces the byte-identity contracts (tol=0 and
 faulted runs must replay the plain runs event-for-event).
 
+A third leg benchmarks the event-engine hot path at the fig18 mid-sweep
+point (~75K RPS) into ``BENCH_engine.json``: deterministic outputs
+(events processed, completions, p99) are checked exactly, the measured
+events/sec must clear a deliberately loose ``min_events_per_sec`` floor
+(a catastrophic-regression tripwire that tolerates slow CI hosts — the
+honest per-host throughput lives in the recorded baseline), and
+``engine_equivalence`` pins the calendar-queue backend byte-identical
+to the default heapq backend.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py --check
@@ -44,6 +53,7 @@ from repro.workloads.deathstar import social_network_app  # noqa: E402
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_faults.json"
 HYBRID_BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_hybrid.json"
+ENGINE_BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
 
 #: Fixed mid-load point: reduced-scale uManycore at ~60% of saturation.
 CONFIG = replace(UMANYCORE, n_cores=128, n_clusters=8)
@@ -55,6 +65,11 @@ REPEATS = 3
 #: The hybrid speedup leg needs a run that outlives detection +
 #: calibration by a healthy margin, so it gets its own duration.
 HYBRID_DURATION_S = 0.15
+
+#: Engine leg: the fig18 mid-sweep load the hot-path rebuild was
+#: profiled at (~75K RPS on the reduced-scale config above).
+ENGINE_RPS = 75_000.0
+ENGINE_DURATION_S = 0.008
 
 
 def _schedule() -> FaultSchedule:
@@ -272,6 +287,78 @@ def measure_hybrid() -> dict:
     }
 
 
+def _engine_run(backend=None):
+    """One engine-leg run, optionally forcing a queue backend.
+
+    The backend is selected through ``REPRO_SIM_QUEUE`` (the same knob
+    users have), which only matters while the :class:`Engine` is
+    constructed; the env var is restored before the run starts.
+
+    Returns:
+        ``(wall_s, events_processed, queue_backend, result)``.
+    """
+    import os
+
+    old = os.environ.pop("REPRO_SIM_QUEUE", None)
+    if backend is not None:
+        os.environ["REPRO_SIM_QUEUE"] = backend
+    try:
+        sim = ClusterSimulation(CONFIG, social_network_app("Text"),
+                                rps_per_server=ENGINE_RPS, n_servers=1,
+                                duration_s=ENGINE_DURATION_S, seed=SEED)
+    finally:
+        if backend is not None:
+            del os.environ["REPRO_SIM_QUEUE"]
+        if old is not None:
+            os.environ["REPRO_SIM_QUEUE"] = old
+    t0 = time.perf_counter()
+    result = sim.run()
+    wall = time.perf_counter() - t0
+    return wall, sim.engine.events_processed, sim.engine.queue_backend, result
+
+
+def measure_engine() -> dict:
+    """Best-of-N wall for the engine leg on the default backend."""
+    walls = []
+    events = backend = result = None
+    for __ in range(REPEATS):
+        wall, events, backend, result = _engine_run()
+        walls.append(wall)
+    wall = min(walls)
+    return {
+        "wall_s": round(wall, 4),
+        "events_processed": events,
+        "events_per_sec": int(events / wall),
+        "queue_backend": backend,
+        "completed": result.completed,
+        "p99_us": round(result.p99_ns / 1e3, 3),
+    }
+
+
+def engine_equivalence() -> list:
+    """Check the calendar queue replays the heapq run byte-for-byte.
+
+    The two backends share the ``(time, seq)`` total order contract, so
+    every output — event count included — must match exactly.
+
+    Returns:
+        A list of failure strings (empty when equivalent).
+    """
+    failures = []
+    __, h_events, h_backend, h_res = _engine_run()
+    __, c_events, c_backend, c_res = _engine_run("calendar")
+    if h_backend != "heapq":
+        failures.append(f"default queue backend is {h_backend!r}, "
+                        f"expected heapq")
+    if c_backend != "calendar":
+        failures.append("REPRO_SIM_QUEUE=calendar did not select the "
+                        "calendar backend")
+    if c_events != h_events or c_res.as_dict() != h_res.as_dict():
+        failures.append("calendar-queue run diverges from the heapq run "
+                        "(event-order byte-identity broken)")
+    return failures
+
+
 def main() -> int:
     """Entry point; returns the process exit code."""
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -289,6 +376,8 @@ def main() -> int:
     print("measured:", json.dumps(measured, indent=2))
     hybrid = measure_hybrid()
     print("hybrid:", json.dumps(hybrid, indent=2))
+    engine = measure_engine()
+    print("engine:", json.dumps(engine, indent=2))
 
     if args.update_baseline:
         doc = {
@@ -314,6 +403,27 @@ def main() -> int:
         }
         HYBRID_BASELINE_PATH.write_text(json.dumps(hdoc, indent=2) + "\n")
         print(f"hybrid baseline written to {HYBRID_BASELINE_PATH}")
+        edoc = {
+            "schema": 1,
+            "bench": "engine_hot_path_smoke",
+            "workload": {"system": CONFIG.name, "n_cores": CONFIG.n_cores,
+                         "rps_per_server": ENGINE_RPS,
+                         "duration_s": ENGINE_DURATION_S,
+                         "seed": SEED, "repeats": REPEATS},
+            "baseline": engine,
+            # Floor = a third of the baseline host's throughput: loose
+            # enough for slow CI runners, tight enough to trip on a
+            # hot-path regression that re-introduces per-event Python
+            # overhead wholesale.
+            "gate": {"min_events_per_sec": engine["events_per_sec"] // 3},
+            "reference": {
+                "pre_rebuild_events_per_sec": 116_000,
+                "note": "same point at the PR base commit on the "
+                        "baseline host (see docs/PERFORMANCE.md)",
+            },
+        }
+        ENGINE_BASELINE_PATH.write_text(json.dumps(edoc, indent=2) + "\n")
+        print(f"engine baseline written to {ENGINE_BASELINE_PATH}")
         return 0
 
     doc = json.loads(BASELINE_PATH.read_text())
@@ -345,6 +455,20 @@ def main() -> int:
         if hybrid[key] != hbase[key]:
             failures.append(f"deterministic hybrid output drifted: {key} "
                             f"{hybrid[key]} != baseline {hbase[key]}")
+    edoc = json.loads(ENGINE_BASELINE_PATH.read_text())
+    ebase = edoc["baseline"]
+    failures += engine_equivalence()
+    floor = edoc["gate"]["min_events_per_sec"]
+    if engine["events_per_sec"] < floor:
+        failures.append(
+            f"engine throughput collapsed: {engine['events_per_sec']} "
+            f"ev/s < {floor} ev/s floor "
+            f"(baseline host: {ebase['events_per_sec']} ev/s)")
+    for key in ("events_processed", "completed", "p99_us",
+                "queue_backend"):
+        if engine[key] != ebase[key]:
+            failures.append(f"deterministic engine output drifted: {key} "
+                            f"{engine[key]} != baseline {ebase[key]}")
     if failures:
         print("PERF SMOKE FAILED")
         for f in failures:
@@ -352,7 +476,8 @@ def main() -> int:
         return 1
     print(f"perf smoke OK (overhead {measured['overhead_ratio']:.3f}x, "
           f"limit {limit:.3f}x; hybrid {hybrid['speedup']:.2f}x, "
-          f"floor {min_speedup:.1f}x)")
+          f"floor {min_speedup:.1f}x; engine "
+          f"{engine['events_per_sec']} ev/s, floor {floor} ev/s)")
     return 0
 
 

@@ -288,6 +288,34 @@ def cmd_trace(args) -> None:
     _print_summary(result, False)
 
 
+def cmd_profile(args) -> None:
+    """Profile one simulation under cProfile and print the hot functions.
+
+    The simulated run is the one ``repro simulate`` would do (same
+    seeds, same event order — cProfile only adds interpreter overhead,
+    it never perturbs virtual time).  Prints a table of the hottest
+    functions sorted by ``--sort``; ``--out`` additionally dumps the
+    raw pstats data for offline digging (``python -m pstats FILE`` or
+    snakeviz).  docs/PERFORMANCE.md walks through reading the output.
+    """
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    result = _run_simulation(args)
+    prof.disable()
+    if args.out:
+        prof.dump_stats(args.out)
+    # With --json keep stdout machine-readable: table goes to stderr.
+    stream = sys.stderr if args.json else sys.stdout
+    stats = pstats.Stats(prof, stream=stream)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        print(f"profile    : wrote {args.out}", file=stream)
+    _print_summary(result, args.json)
+
+
 def cmd_faults(args) -> None:
     """Fault-injection run + resilience report.
 
@@ -656,6 +684,25 @@ def build_parser() -> argparse.ArgumentParser:
                     help="gauge sampling period in simulated us "
                          "(0 disables sampling)")
     tr.set_defaults(func=cmd_trace)
+
+    prf = sub.add_parser(
+        "profile",
+        help="profile one simulation under cProfile (hot-function table)")
+    add_run_args(prf)
+    add_policy_args(prf)
+    add_dc_args(prf)
+    add_hybrid_args(prf)
+    add_fault_args(prf)
+    prf.add_argument("--top", type=int, default=25, metavar="N",
+                     help="rows of the hot-function table (default 25)")
+    prf.add_argument("--sort", choices=("tottime", "cumtime", "calls"),
+                     default="tottime",
+                     help="stat to rank functions by (default tottime: "
+                          "self time, the optimization signal)")
+    prf.add_argument("--out", metavar="FILE", default=None,
+                     help="also dump raw pstats data for offline "
+                          "analysis (python -m pstats FILE)")
+    prf.set_defaults(func=cmd_profile)
 
     flt = sub.add_parser(
         "faults", help="run a fault-injection experiment and report "

@@ -104,17 +104,23 @@ class SchedulerDomain:
             if config.centralized else None)
         self.switches = 0
         self.scheduler_ops = 0
+        # Per-op costs precomputed (config is frozen, freq fixed at
+        # construction): the save/restore/op paths run per segment.
+        self._save_ns = config.save_cycles / freq_ghz
+        self._restore_ns = config.restore_cycles / freq_ghz
+        self._op_ns = config.scheduler_op_cycles / freq_ghz
+        self._jitter_on = rng is not None and config.jitter_prob > 0
 
     def _ns(self, cycles: float) -> float:
         return cycles / self.freq_ghz
 
     @property
     def save_ns(self) -> float:
-        return self._ns(self.config.save_cycles)
+        return self._save_ns
 
     @property
     def restore_ns(self) -> float:
-        return self._ns(self.config.restore_cycles)
+        return self._restore_ns
 
     def _traced(self, done: Callable[[], None], op: str,
                 rec) -> Callable[[], None]:
@@ -142,19 +148,21 @@ class SchedulerDomain:
         serializes with everything else that core does (Section 4.4).
         """
         self.switches += 1
-        done = self._traced(done, "save", rec)
+        if self.engine.tracer.enabled:
+            done = self._traced(done, "save", rec)
         if self._sched_core is not None:
-            self._sched_core.acquire(self.save_ns, lambda s, f: done())
+            self._sched_core.acquire(self._save_ns, lambda s, f: done())
         else:
-            self.engine.schedule(self.save_ns, done)
+            self.engine.schedule(self._save_ns, done)
 
     def charge_restore(self, done: Callable[[], None], rec=None) -> None:
         """Restore process state on resume (part of Dequeue / dispatch)."""
-        done = self._traced(done, "restore", rec)
+        if self.engine.tracer.enabled:
+            done = self._traced(done, "restore", rec)
         if self._sched_core is not None:
-            self._sched_core.acquire(self.restore_ns, lambda s, f: done())
+            self._sched_core.acquire(self._restore_ns, lambda s, f: done())
         else:
-            self.engine.schedule(self.restore_ns, done)
+            self.engine.schedule(self._restore_ns, done)
 
     def scheduler_op(self, done: Callable[[], None], rec=None) -> None:
         """One scheduling operation (enqueue/dequeue/wakeup).
@@ -165,15 +173,15 @@ class SchedulerDomain:
         dedicated scheduler core.
         """
         self.scheduler_ops += 1
-        op_ns = self._ns(self.config.scheduler_op_cycles)
-        if self.rng is not None and self.config.jitter_prob > 0 \
-                and self.rng.random() < self.config.jitter_prob:
+        op_ns = self._op_ns
+        if self._jitter_on and self.rng.random() < self.config.jitter_prob:
             self.jitter_events += 1
             op_ns += self.config.jitter_ns
         if op_ns <= 0:
             done()
             return
-        done = self._traced(done, "sched_op", rec)
+        if self.engine.tracer.enabled:
+            done = self._traced(done, "sched_op", rec)
         if self._sched_core is not None:
             self._sched_core.acquire(op_ns, lambda s, f: done())
         else:

@@ -57,6 +57,10 @@ class CoreModel:
 
     def __init__(self, config: CoreConfig):
         self.config = config
+        # effective_cpi is a pure function of frozen-dataclass inputs;
+        # system code calls it once per executed segment with a handful
+        # of distinct (profile, latency) combinations, so memoize.
+        self._cpi_cache: dict = {}
 
     def memory_level_parallelism(self) -> float:
         """Outstanding-miss parallelism sustained by the ROB/MSHRs."""
@@ -69,13 +73,19 @@ class CoreModel:
         l2_latency: float = 24.0,
         memory_latency: float = 200.0,
     ) -> float:
+        key = (profile, l2_latency, memory_latency)
+        cpi = self._cpi_cache.get(key)
+        if cpi is not None:
+            return cpi
         c = self.config
         pipeline = max(1.0 / c.issue_width, 1.0 / profile.ilp)
         control = profile.branch_misp_mpki / 1000.0 * c.mispredict_penalty
         mlp = self.memory_level_parallelism()
         per_miss = l2_latency + profile.l2_miss_fraction * memory_latency / mlp
         memory = profile.l1_mpki / 1000.0 * per_miss
-        return pipeline + control + memory
+        cpi = pipeline + control + memory
+        self._cpi_cache[key] = cpi
+        return cpi
 
     def segment_time_ns(
         self,

@@ -44,6 +44,9 @@ class HierarchicalLeafSpine(Topology):
                     self.add_link(self.spine_name(pod, spine),
                                   self.core_name(core),
                                   capacity=link_capacity)
+        self._leaf_names = [
+            self.leaf_name(i // leaves_per_pod, i % leaves_per_pod)
+            for i in range(n_pods * leaves_per_pod)]
 
     @property
     def n_leaves(self) -> int:
@@ -66,11 +69,10 @@ class HierarchicalLeafSpine(Topology):
         return f"core{core}"
 
     def leaf(self, index: int) -> str:
-        """Global leaf index 0..n_leaves-1 -> node name."""
+        """Global leaf index 0..n_leaves-1 -> node name (precomputed)."""
         if not 0 <= index < self.n_leaves:
             raise IndexError(f"leaf index {index} out of range")
-        return self.leaf_name(index // self.leaves_per_pod,
-                              index % self.leaves_per_pod)
+        return self._leaf_names[index]
 
     def _route(self, src: str, dst: str,
                rng: Optional[np.random.Generator] = None) -> List[str]:
@@ -102,6 +104,29 @@ class HierarchicalLeafSpine(Topology):
         core = self.core_name(choice(self.n_core))
         down_spine = self.spine_name(dst_pod, choice(self.spines_per_pod))
         return [src, up_spine, core, down_spine, dst]
+
+    def _route_plan(self, src: str, dst: str):
+        """Compiled-ECMP descriptor mirroring :meth:`_route`'s healthy path.
+
+        Draw order per message is pinned: one ``rng.integers`` for the
+        shared spine intra-pod, or up-spine → core → down-spine for
+        inter-pod — exactly the ``choice`` sequence in ``_route``.
+        """
+        if src == dst:
+            return None
+        src_pod, __ = self._parse_leaf(src)
+        dst_pod, __ = self._parse_leaf(dst)
+        if src_pod == dst_pod:
+            def build_intra(key):
+                return [src, self.spine_name(src_pod, key[0]), dst]
+            return (self.spines_per_pod,), build_intra
+
+        def build_inter(key):
+            return [src, self.spine_name(src_pod, key[0]),
+                    self.core_name(key[1]),
+                    self.spine_name(dst_pod, key[2]), dst]
+        return (self.spines_per_pod, self.n_core, self.spines_per_pod), \
+            build_inter
 
     def equal_cost_paths(self, src: str, dst: str,
                          alive_only: bool = False) -> List[List[str]]:

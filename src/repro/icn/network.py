@@ -39,6 +39,64 @@ class NetworkConfig:
         return size_bytes / self.link_bytes_per_ns
 
 
+class _Transit:
+    """One in-flight message walking a compiled route's link resources.
+
+    Replaces the per-message closure chain (one ``traverse`` closure plus
+    one lambda per hop) with a single object; it *is* the Resource done
+    callback (``done(start, finish)``), so each hop costs one bound-call
+    and one ``acquire``.
+    """
+
+    __slots__ = ("net", "route", "hop_time", "sent_at",
+                 "on_delivered", "on_dropped", "idx")
+
+    def __init__(self, net: "Network", route: "_Route", hop_time: float,
+                 on_delivered: Callable[[], None],
+                 on_dropped: Optional[Callable[[], None]]):
+        self.net = net
+        self.route = route
+        self.hop_time = hop_time
+        self.sent_at = net.engine.now
+        self.on_delivered = on_delivered
+        self.on_dropped = on_dropped
+        self.idx = 0
+
+    def __call__(self, _start: float = 0.0, _finish: float = 0.0) -> None:
+        net = self.net
+        route = self.route
+        i = self.idx
+        if i >= route.n_hops:
+            net._deliver(self.sent_at, self.on_delivered)
+            return
+        topo = net.topology
+        if topo._failed_links:
+            u, v = route.pairs[i]
+            if not topo.link_alive(u, v):
+                # The link died while the message was queued upstream.
+                net._drop(self.on_dropped, in_flight=True)
+                return
+        self.idx = i + 1
+        route.links[i].acquire(self.hop_time, self)
+
+
+class _Route:
+    """Per-path compiled hop list: link Resources resolved once.
+
+    Holds a strong reference to the (shared, topology-cached) path list
+    it was compiled from, which keeps the ``id(path)`` lookup key in
+    ``Network._routes`` valid for the network's lifetime.
+    """
+
+    __slots__ = ("path", "links", "pairs", "n_hops")
+
+    def __init__(self, net: "Network", path: list):
+        self.path = path
+        self.pairs = list(zip(path, path[1:]))
+        self.links = [net._link(u, v) for u, v in self.pairs]
+        self.n_hops = len(self.pairs)
+
+
 class Network:
     """Drives messages across a topology on the event engine."""
 
@@ -50,6 +108,15 @@ class Network:
         self.config = config or NetworkConfig()
         self.rng = rng
         self._links: Dict[Tuple[str, str], Resource] = {}
+        #: Compiled routes keyed by ``id(path)`` of the shared path lists
+        #: the topology cache hands out (each _Route pins its path alive,
+        #: so keys cannot be recycled); holds the link Resource list so
+        #: the hot send path skips per-hop dict probes.
+        self._routes: Dict[int, _Route] = {}
+        #: Exact per-size hop times (``hop_latency_ns + serialization``),
+        #: memoized so the hot path recomputes nothing — same float ops
+        #: on first use, so values are bit-identical to the uncached code.
+        self._hop_times: Dict[int, float] = {}
         self.messages_sent = 0
         self.hops_traversed = 0
         self.total_latency = 0.0
@@ -75,7 +142,121 @@ class Network:
         route exists (failed links) the message blackholes:
         ``on_dropped`` fires if given, otherwise nothing does — callers
         with a delivery guarantee wrap sends in a timeout.
+
+        Fault-free sends run a compiled fast path: cached route, cached
+        per-size hop time, and one :class:`_Transit` object instead of a
+        closure chain.  Messages launched while links are failed use the
+        uncompiled path below; either way a mid-flight failure is caught
+        hop-by-hop.  Event order and accounting are byte-identical
+        between the two (pinned by the perf_smoke equivalence gates).
         """
+        engine = self.engine
+        topo = self.topology
+        if topo._failed_links:
+            self._send_degraded(src, dst, size_bytes, on_delivered, rec,
+                                on_dropped)
+            return
+        try:
+            path = topo.path(src, dst, self.rng)
+        except NoPathError:
+            self._drop(on_dropped)
+            return
+        self.messages_sent += 1
+        if len(path) < 2:
+            engine.schedule(0.0, on_delivered)
+            return
+        check = engine.check
+        if check.enabled:
+            # Conservation ledger covers routed (multi-hop) messages:
+            # every send ends in _deliver or an in-flight drop.
+            check.icn_send(self)
+        hop_time = self._hop_times.get(size_bytes)
+        if hop_time is None:
+            hop_time = self.config.hop_latency_ns + \
+                self.config.serialization_ns(size_bytes)
+            self._hop_times[size_bytes] = hop_time
+        n_hops = len(path) - 1
+        self.hops_traversed += n_hops
+
+        if engine.tracer.enabled:
+            inner = on_delivered
+            name = f"{src}->{dst}"
+            sent_at = engine.now
+
+            def on_delivered() -> None:
+                engine.tracer.span(
+                    "icn_hop", name, sent_at, engine.now, rec=rec,
+                    track="icn", hops=n_hops, bytes=size_bytes)
+                inner()
+
+        if not self.config.contention:
+            engine.schedule(hop_time * n_hops, self._deliver, engine.now,
+                            on_delivered)
+            return
+
+        route = self._routes.get(id(path))
+        if route is None:
+            route = self._routes[id(path)] = _Route(self, path)
+        _Transit(self, route, hop_time, on_delivered, on_dropped)()
+
+    def send_fanout(self, sources, dst: str, size_bytes: int,
+                    on_each: Callable[[], None], rec=None) -> None:
+        """Send one message to ``dst`` from each source yielded by
+        ``sources``, invoking ``on_each`` per delivery.
+
+        ``sources`` is iterated lazily, so a generator whose body draws
+        from an RNG interleaves those draws with each message's ECMP
+        picks exactly as an equivalent ``send`` loop would — the draw
+        order (and hence every downstream event) is byte-identical.
+        The batch hoists the per-send constant work (hop-time lookup,
+        flag slots, counter loads) out of the loop; tracing, invariant
+        checking, degraded topologies and contention-free mode fall
+        back to plain sends, which keeps the fast path small.
+        """
+        engine = self.engine
+        topo = self.topology
+        if (topo._failed_links or engine.tracer.enabled
+                or engine.check.enabled or not self.config.contention):
+            send = self.send
+            for src in sources:
+                send(src, dst, size_bytes, on_each, rec=rec)
+            return
+        hop_time = self._hop_times.get(size_bytes)
+        if hop_time is None:
+            hop_time = self.config.hop_latency_ns + \
+                self.config.serialization_ns(size_bytes)
+            self._hop_times[size_bytes] = hop_time
+        path_of = topo.path
+        rng = self.rng
+        routes = self._routes
+        schedule = engine.schedule
+        sent = 0
+        hops = 0
+        for src in sources:
+            try:
+                path = path_of(src, dst, rng)
+            except NoPathError:
+                self._drop(None)
+                continue
+            sent += 1
+            if len(path) < 2:
+                schedule(0.0, on_each)
+                continue
+            hops += len(path) - 1
+            route = routes.get(id(path))
+            if route is None:
+                route = routes[id(path)] = _Route(self, path)
+            _Transit(self, route, hop_time, on_each, None)()
+        # The loop is synchronous (no event runs mid-batch), so the
+        # deferred counter flush is observationally identical to the
+        # per-send increments.
+        self.messages_sent += sent
+        self.hops_traversed += hops
+
+    def _send_degraded(self, src: str, dst: str, size_bytes: int,
+                       on_delivered: Callable[[], None], rec=None,
+                       on_dropped: Optional[Callable[[], None]] = None) -> None:
+        """Uncompiled send used while any link is failed (rare path)."""
         try:
             path = self.topology.path(src, dst, self.rng)
         except NoPathError:
@@ -87,8 +268,6 @@ class Network:
             return
         check = self.engine.check
         if check.enabled:
-            # Conservation ledger covers routed (multi-hop) messages:
-            # every send ends in _deliver or an in-flight drop.
             check.icn_send(self)
         sent_at = self.engine.now
         hop_time = self.config.hop_latency_ns + \

@@ -30,6 +30,47 @@ class NoPathError(ValueError):
     """No surviving route between two nodes (failure/partition)."""
 
 
+class EcmpRoutePlan:
+    """Compiled multi-path route for one endpoint pair.
+
+    ``dims`` is the sequence of equal-cost choice widths drawn per
+    message, in draw order; ``build`` maps a drawn index tuple to the
+    final (attachment-resolved, deduplicated) node path.  ``pick``
+    consumes the caller's RNG with exactly the same number and order of
+    ``rng.integers`` calls as the uncompiled routing code, so cached and
+    uncached routing are byte-identical — the determinism contract of
+    docs/PERFORMANCE.md.
+    """
+
+    __slots__ = ("dims", "build", "variants", "_zero")
+
+    def __init__(self, dims, build):
+        self.dims = tuple(dims)
+        self.build = build
+        self.variants: Dict[tuple, List[str]] = {}
+        self._zero = (0,) * len(self.dims)
+
+    def pick(self, rng: Optional[np.random.Generator]) -> List[str]:
+        if rng is None:
+            key = self._zero
+        else:
+            integers = rng.integers
+            dims = self.dims
+            # Unrolled for the two shapes that exist (1- and 3-draw ECMP);
+            # the generic tail keeps arbitrary plans correct.
+            if len(dims) == 1:
+                key = (int(integers(dims[0])),)
+            elif len(dims) == 3:
+                key = (int(integers(dims[0])), int(integers(dims[1])),
+                       int(integers(dims[2])))
+            else:
+                key = tuple(int(integers(n)) for n in dims)
+        path = self.variants.get(key)
+        if path is None:
+            path = self.variants[key] = self.build(key)
+        return path
+
+
 class Topology:
     """Directed graph; links carry a capacity used by the Network layer."""
 
@@ -41,6 +82,12 @@ class Topology:
         self._failed_links: Set[Tuple[str, str]] = set()
         #: Whether routing recomputes around dead links (see module doc).
         self.adaptive = False
+        #: Healthy-path compiled routes, keyed by the (src, dst) pair as
+        #: given to :meth:`path` (attachment names included).  Entries are
+        #: either a shared path list (rng-independent routing) or an
+        #: :class:`EcmpRoutePlan`.  Only consulted when no link is failed;
+        #: invalidated by :meth:`add_link` (and therefore :meth:`attach`).
+        self._route_cache: Dict[Tuple[str, str], object] = {}
 
     @property
     def nodes(self) -> List[str]:
@@ -58,6 +105,7 @@ class Topology:
         """Add a directed link u->v (and v->u unless ``bidirectional=False``)."""
         if capacity < 1:
             raise ValueError("link capacity must be >= 1")
+        self._route_cache.clear()
         self.add_node(u)
         self.add_node(v)
         if v not in self._adj[u]:
@@ -124,7 +172,62 @@ class Topology:
 
     def path(self, src: str, dst: str, rng: Optional[np.random.Generator] = None
              ) -> List[str]:
-        """Node sequence from src to dst, resolving attached endpoints."""
+        """Node sequence from src to dst, resolving attached endpoints.
+
+        Fault-free routing is served from a per-pair compiled cache:
+        attachment resolution, route construction, and deduplication run
+        once, after which each call is a dict probe (plus the original
+        per-message ECMP draws — see :class:`EcmpRoutePlan`).  Returned
+        lists are shared; callers must not mutate them.  With failed
+        links present the uncached degraded path below runs instead.
+        """
+        if self._failed_links:
+            return self._path_degraded(src, dst, rng)
+        entry = self._route_cache.get((src, dst))
+        if entry is None:
+            entry = self._compile_route(src, dst)
+            self._route_cache[(src, dst)] = entry
+        if entry.__class__ is list:
+            return entry
+        return entry.pick(rng)
+
+    def _compile_route(self, src: str, dst: str):
+        """Build the healthy-path cache entry for one endpoint pair."""
+        prefix: List[str] = []
+        suffix: List[str] = []
+        s, d = src, dst
+        if s in self._attachments:
+            prefix = [src]
+            s = self._attachments[src]
+        if d in self._attachments:
+            suffix = [dst]
+            d = self._attachments[dst]
+
+        def assemble(route: List[str]) -> List[str]:
+            full = prefix + route + suffix
+            return [n for i, n in enumerate(full) if i == 0 or n != full[i - 1]]
+
+        plan = self._route_plan(s, d)
+        if plan is None:
+            return assemble(self._route(s, d, None))
+        dims, build = plan
+        return EcmpRoutePlan(dims, lambda key: assemble(build(key)))
+
+    def _route_plan(self, src: str, dst: str):
+        """Describe the healthy route's RNG draws for compilation.
+
+        Returns ``None`` when ``_route`` ignores the RNG (the route is a
+        single fixed path — BFS, XY mesh, fat-tree up/down), or a
+        ``(dims, build)`` pair replicating the draw sequence.  Any
+        subclass whose ``_route`` consumes the RNG on the fault-free path
+        MUST override this to match its draws exactly, or healthy routing
+        through the cache would change RNG stream consumption.
+        """
+        return None
+
+    def _path_degraded(self, src: str, dst: str,
+                       rng: Optional[np.random.Generator] = None) -> List[str]:
+        """Uncached routing used while any link is failed."""
         prefix: List[str] = []
         suffix: List[str] = []
         if src in self._attachments:

@@ -41,7 +41,15 @@ class Resource:
         if service_time < 0:
             raise ValueError(f"negative service time: {service_time}")
         if self.busy < self.capacity:
-            self._start(self.engine.now, service_time, done)
+            # Uncontended fast path: ``_start`` inlined with zero wait
+            # (start == arrival, so the wait-total term is exactly 0.0).
+            self.busy += 1
+            engine = self.engine
+            check = engine.check
+            if check.enabled:
+                check.resource_event(self)
+            engine.schedule(service_time, self._finish, engine.now,
+                            service_time, done)
         else:
             self._queue.append((self.engine.now, service_time, done))
             if len(self._queue) > self.max_queue_len:

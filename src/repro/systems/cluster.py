@@ -291,20 +291,30 @@ class ClusterSimulation:
             # replays the single-server arrival sequence exactly.
             rng = self.streams.stream("arrivals0")
             rate = self.rps_per_server * self.n_servers
-            for t in generate(rate, self.duration_s, rng):
-                self.offered += 1
-                if self.check.enabled:
+            times = generate(rate, self.duration_s, rng).tolist()
+            self.offered += len(times)
+            if self.check.enabled:
+                for __ in times:
                     self.check.root_offered()
-                self.engine.schedule_at(float(t), self._route, float(t))
+            if times:
+                self.engine.schedule_at_batch(times, self._route,
+                                              append_time=True)
             return
+        # Arrival times are bulk-drawn (vectorized) per server from its
+        # dedicated ``arrivals{i}`` stream and batch-inserted; draw
+        # order and event (time, seq) order match the former per-event
+        # loop exactly, so schedules are byte-identical.
         for i, server in enumerate(self.servers):
             rng = self.streams.stream(f"arrivals{i}")
-            for t in generate(self.rps_per_server, self.duration_s, rng):
-                self.offered += 1
-                if self.check.enabled:
+            times = generate(self.rps_per_server, self.duration_s,
+                             rng).tolist()
+            self.offered += len(times)
+            if self.check.enabled:
+                for __ in times:
                     self.check.root_offered()
-                self.engine.schedule_at(
-                    float(t), self._issue, server, float(t))
+            if times:
+                self.engine.schedule_at_batch(times, self._issue, server,
+                                              append_time=True)
 
     def _route(self, arrival_ns: float) -> None:
         """LB entry point: pick a server for one arriving root request."""

@@ -79,6 +79,24 @@ class Server:
         self.coherence = CoherenceModel(CoherenceConfig(
             domain_cores=config.coherence_domain_cores,
             total_cores=config.n_cores))
+        # Hot-path constants: every RPC send resolves village node names,
+        # cluster ids and coherence-inflated sizes; all are pure functions
+        # of the frozen config, so compute them once here.
+        self._village_nodes = [f"s{server_id}.vil{v}"
+                               for v in range(config.n_queues)]
+        per = max(1, config.n_queues // config.n_clusters)
+        self._village_clusters = [min(v // per, config.n_clusters - 1)
+                                  for v in range(config.n_queues)]
+        coh_factor = self.coherence.coherence_message_factor()
+        self._coh_request_bytes = int(REQUEST_BYTES * coh_factor)
+        self._coh_response_bytes = int(RESPONSE_BYTES * coh_factor)
+        self._coh_storage_bytes = int(STORAGE_BYTES * coh_factor)
+        self._mem_cycles = (config.memory_latency_cycles
+                            + self.coherence.directory_roundtrip_cycles())
+        self._preempt_check_ns = \
+            config.preempt_op_cycles / config.core.freq_ghz
+        self._state_msg_bytes = max(
+            64, config.state_bytes_per_invocation // 4)
         self._build_topology()
         self._build_villages()
         self._place_services()
@@ -109,16 +127,20 @@ class Server:
             pods = 4 if cfg.n_clusters % 4 == 0 and cfg.n_clusters >= 4 else 1
             topo = HierarchicalLeafSpine(
                 n_pods=pods, leaves_per_pod=cfg.n_clusters // pods)
-            self._leaf = lambda c: topo.leaf(c)
+            leaf_names = [topo.leaf(c) for c in range(cfg.n_clusters)]
         elif cfg.topology == "fattree":
             n = 1 << max(1, (cfg.n_clusters - 1).bit_length())
             topo = FatTree(n_leaves=n)
-            self._leaf = lambda c: topo.leaf(c)
+            leaf_names = [topo.leaf(c) for c in range(cfg.n_clusters)]
         else:  # mesh
             cols = int(math.ceil(math.sqrt(cfg.n_clusters)))
             rows = int(math.ceil(cfg.n_clusters / cols))
             topo = Mesh2D(cols, rows)
-            self._leaf = lambda c: topo.tile(c % cols, c // cols)
+            leaf_names = [topo.tile(c % cols, c // cols)
+                          for c in range(cfg.n_clusters)]
+        # Cluster -> attachment-node names precomputed; list indexing is
+        # the hot cluster-to-leaf map on every message send.
+        self._leaf = leaf_names.__getitem__
         self.topology = topo
         net_cfg = NetworkConfig(hop_cycles=5.0, freq_ghz=cfg.core.freq_ghz,
                                 link_bytes_per_ns=cfg.link_bytes_per_ns,
@@ -205,11 +227,10 @@ class Server:
             self.placement[heavy_names[i % len(heavy_names)]].append(v)
 
     def _village_node(self, v: int) -> str:
-        return f"s{self.server_id}.vil{v}"
+        return self._village_nodes[v]
 
     def village_cluster(self, v: int) -> int:
-        per = max(1, self.config.n_queues // self.config.n_clusters)
-        return min(v // per, self.config.n_clusters - 1)
+        return self._village_clusters[v]
 
     def _place_services(self) -> None:
         """Spread service instances over villages; partition cores when
@@ -253,11 +274,9 @@ class Server:
     def segment_time_ns(self, rec: RequestRecord, core) -> float:
         cfg = self.config
         spec = self._service_spec(rec)
-        mem_cycles = (cfg.memory_latency_cycles
-                      + self.coherence.directory_roundtrip_cycles())
         base = self.village_core_model(rec.village).segment_time_ns(
             rec.current_segment_instructions, spec.profile,
-            cfg.l2_latency_cycles, mem_cycles)
+            cfg.l2_latency_cycles, self._mem_cycles)
         # Software RPC stack: every segment starts by processing the
         # message that woke it (request or response) on the core.
         base += cfg.sw_rpc_core_ns
@@ -266,7 +285,7 @@ class Server:
         # the (possibly centralized) scheduler core.
         if cfg.preempt_quantum_ns > 0:
             quanta = math.ceil(base / cfg.preempt_quantum_ns)
-            per_check_ns = cfg.preempt_op_cycles / cfg.core.freq_ghz
+            per_check_ns = self._preempt_check_ns
             base += quanta * per_check_ns
             village = self.villages[rec.village]
             village.scheduler.background_load(quanta * per_check_ns)
@@ -286,10 +305,10 @@ class Server:
         """
         cfg = self.config
         v = rec.village
-        dst = self._village_node(v)
+        dst = self._village_nodes[v]
         n_msgs = 4
-        msg_bytes = max(64, cfg.state_bytes_per_invocation // n_msgs)
-        local_cluster = self.village_cluster(v)
+        msg_bytes = self._state_msg_bytes
+        local_cluster = self._village_clusters[v]
         rec._fetch_remaining = n_msgs
         rec._fetch_cont = None
 
@@ -300,13 +319,21 @@ class Server:
                 rec._fetch_cont = None
                 self._segment_done_impl(rec, village, core)
 
-        for __ in range(n_msgs):
-            if self.rng.random() < cfg.local_state_fraction:
-                src_cluster = local_cluster
-            else:
-                src_cluster = int(self.rng.integers(cfg.n_clusters))
-            self.network.send(self._leaf(src_cluster), dst, msg_bytes,
-                              arrived, rec=rec)
+        def sources():
+            # Lazily drawn so the locality draws interleave with each
+            # message's ECMP picks on this server's RNG stream exactly
+            # as the pre-batch send loop did.
+            rng = self.rng
+            frac = cfg.local_state_fraction
+            n_clusters = cfg.n_clusters
+            leaf = self._leaf
+            for __ in range(n_msgs):
+                if rng.random() < frac:
+                    yield leaf(local_cluster)
+                else:
+                    yield leaf(int(rng.integers(n_clusters)))
+
+        self.network.send_fanout(sources(), dst, msg_bytes, arrived, rec=rec)
 
     def _resume_penalty_ns(self, rec: RequestRecord, core) -> float:
         """Cache-warmth cost of resuming on a different core (Section 4.1)."""
@@ -366,6 +393,9 @@ class Server:
         """Coherence traffic inflates on-package message cost."""
         return int(size * self.coherence.coherence_message_factor())
 
+    # (The three fixed RPC sizes are precomputed in __init__ as
+    # _coh_request_bytes/_coh_response_bytes/_coh_storage_bytes.)
+
     def _storage_access(self, rec: RequestRecord, village: Village) -> None:
         """village -> leaf -> R-NIC -> fabric -> storage, and back."""
         v = village.village_id
@@ -382,7 +412,7 @@ class Server:
             village.make_ready(rec)
 
         def back_on_package() -> None:
-            self.network.send(leaf, node, self._coh_bytes(STORAGE_BYTES),
+            self.network.send(leaf, node, self._coh_storage_bytes,
                               resume, rec=rec)
 
         def storage_done(latency_ns: float) -> None:
@@ -398,7 +428,7 @@ class Server:
                                              storage_done), rec=rec),
                 rec=rec)
 
-        self.network.send(node, leaf, self._coh_bytes(STORAGE_BYTES),
+        self.network.send(node, leaf, self._coh_storage_bytes,
                           at_rnic, rec=rec)
 
     def _pick_callee(self, target: str) -> "Server":
@@ -434,7 +464,7 @@ class Server:
                 REQUEST_BYTES,
                 lambda: self.network.send(
                     src_node, self._village_node(dst_village),
-                    self._coh_bytes(REQUEST_BYTES),
+                    self._coh_request_bytes,
                     lambda: self._submit_with_retry(child, dst_village),
                     rec=child),
                 rec=child)
@@ -442,7 +472,7 @@ class Server:
         v = village.village_id
         leaf = self._leaf(self.village_cluster(v))
         self.network.send(
-            src_node, leaf, self._coh_bytes(REQUEST_BYTES),
+            src_node, leaf, self._coh_request_bytes,
             lambda: self.rnics[v].process(
                 REQUEST_BYTES,
                 lambda: self.fabric.send(
@@ -528,19 +558,19 @@ class Server:
         if callee is self:
             self.network.send(child_node,
                               self._village_node(parent_village.village_id),
-                              self._coh_bytes(RESPONSE_BYTES), resume,
+                              self._coh_response_bytes, resume,
                               rec=child)
         else:
             child_leaf = callee._leaf(callee.village_cluster(child.village))
             callee.network.send(
-                child_node, child_leaf, callee._coh_bytes(RESPONSE_BYTES),
+                child_node, child_leaf, callee._coh_response_bytes,
                 lambda: callee.fabric.send(
                     callee.server_id, self.server_id, RESPONSE_BYTES,
                     lambda: self.network.send(
                         self._leaf(self.village_cluster(
                             parent_village.village_id)),
                         self._village_node(parent_village.village_id),
-                        self._coh_bytes(RESPONSE_BYTES), resume, rec=child),
+                        self._coh_response_bytes, resume, rec=child),
                     rec=child),
                 rec=child)
 
@@ -608,7 +638,7 @@ class Server:
             leaf = self._leaf(self.village_cluster(v))
             self.network.send(
                 self._village_node(v), leaf,
-                self._coh_bytes(RESPONSE_BYTES),
+                self._coh_response_bytes,
                 lambda: self._nic_links[self.village_cluster(v)].acquire(
                     self._nic_hop_ns,
                     lambda s, f: self.top_nic.process(
@@ -682,7 +712,7 @@ class Server:
             self._nic_hop_ns,
             lambda s, f: self.network.send(
                 self._leaf(cluster), self._village_node(village_id),
-                self._coh_bytes(REQUEST_BYTES), deliver, rec=rec))
+                self._coh_request_bytes, deliver, rec=rec))
 
     def _maybe_scale(self, service: str) -> None:
         """Section 4.1: when a village fills to capacity, boot another

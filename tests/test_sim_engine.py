@@ -1,12 +1,44 @@
-"""Unit tests for the discrete-event engine."""
+"""Unit tests for the discrete-event engine.
+
+Every micro-semantics test runs against BOTH queue backends (the
+default C-heapq and the calendar queue): the two must agree on the
+full ``(time, seq)`` total order — same-time FIFO, cancellation,
+clock clamping and event budgets included — because the simulation's
+byte-identity contract rides on it (see docs/PERFORMANCE.md).
+"""
 
 import pytest
 
 from repro.sim import Engine
+from repro.sim.engine import CalendarEngine
+
+BACKENDS = ("heapq", "calendar")
 
 
-def test_events_fire_in_time_order():
-    eng = Engine()
+@pytest.fixture(params=BACKENDS)
+def eng(request):
+    return Engine(queue=request.param)
+
+
+def test_backend_selection():
+    assert Engine().queue_backend == "heapq"
+    assert Engine(queue="heapq").queue_backend == "heapq"
+    cal = Engine(queue="calendar")
+    assert cal.queue_backend == "calendar"
+    assert isinstance(cal, CalendarEngine)
+    assert isinstance(cal, Engine)
+    with pytest.raises(ValueError):
+        Engine(queue="fibheap")
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_QUEUE", "calendar")
+    assert Engine().queue_backend == "calendar"
+    # An explicit argument beats the environment.
+    assert Engine(queue="heapq").queue_backend == "heapq"
+
+
+def test_events_fire_in_time_order(eng):
     fired = []
     eng.schedule(5.0, fired.append, "late")
     eng.schedule(1.0, fired.append, "early")
@@ -16,8 +48,7 @@ def test_events_fire_in_time_order():
     assert eng.now == 5.0
 
 
-def test_same_time_events_fire_in_scheduling_order():
-    eng = Engine()
+def test_same_time_events_fire_in_scheduling_order(eng):
     fired = []
     for i in range(10):
         eng.schedule(1.0, fired.append, i)
@@ -25,8 +56,7 @@ def test_same_time_events_fire_in_scheduling_order():
     assert fired == list(range(10))
 
 
-def test_cancelled_event_does_not_fire():
-    eng = Engine()
+def test_cancelled_event_does_not_fire(eng):
     fired = []
     ev = eng.schedule(1.0, fired.append, "x")
     ev.cancel()
@@ -35,8 +65,31 @@ def test_cancelled_event_does_not_fire():
     assert fired == ["y"]
 
 
-def test_run_until_stops_clock_at_bound():
-    eng = Engine()
+def test_peek_time_skips_cancelled_events(eng):
+    first = eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    assert eng.peek_time() == 1.0
+    first.cancel()
+    assert eng.peek_time() == 2.0
+
+
+def test_peek_time_empty_after_all_cancelled(eng):
+    ev = eng.schedule(1.0, lambda: None)
+    ev.cancel()
+    assert eng.peek_time() is None
+
+
+def test_step_skips_cancelled_and_advances_clock(eng):
+    fired = []
+    ev = eng.schedule(1.0, fired.append, "dead")
+    eng.schedule(2.0, fired.append, "live")
+    ev.cancel()
+    assert eng.step() is True
+    assert fired == ["live"] and eng.now == 2.0
+    assert eng.step() is False
+
+
+def test_run_until_stops_clock_at_bound(eng):
     fired = []
     eng.schedule(1.0, fired.append, "a")
     eng.schedule(10.0, fired.append, "b")
@@ -47,10 +100,9 @@ def test_run_until_stops_clock_at_bound():
     assert fired == ["a", "b"]
 
 
-def test_run_until_earlier_horizon_does_not_rewind_clock():
+def test_run_until_earlier_horizon_does_not_rewind_clock(eng):
     """A second run() with an until below the current time must clamp
     rather than move the clock backwards past times already handed out."""
-    eng = Engine()
     eng.schedule(10.0, lambda: None)
     eng.run()
     assert eng.now == 10.0
@@ -61,8 +113,7 @@ def test_run_until_earlier_horizon_does_not_rewind_clock():
     assert eng.now == 15.0
 
 
-def test_schedule_during_event_execution():
-    eng = Engine()
+def test_schedule_during_event_execution(eng):
     fired = []
 
     def chain(n):
@@ -76,14 +127,12 @@ def test_schedule_during_event_execution():
     assert eng.now == 3.0
 
 
-def test_negative_delay_rejected():
-    eng = Engine()
+def test_negative_delay_rejected(eng):
     with pytest.raises(ValueError):
         eng.schedule(-1.0, lambda: None)
 
 
-def test_schedule_at_absolute_time():
-    eng = Engine()
+def test_schedule_at_absolute_time(eng):
     fired = []
     eng.schedule_at(4.0, fired.append, "x")
     eng.run()
@@ -92,8 +141,29 @@ def test_schedule_at_absolute_time():
         eng.schedule_at(1.0, fired.append, "past")
 
 
-def test_max_events_bound():
-    eng = Engine()
+def test_schedule_at_batch_matches_loop(eng):
+    """Batch insertion must replay a schedule_at loop exactly —
+    same (time, seq) order, including ties across the two paths."""
+    fired = []
+    times = [3.0, 3.0, 7.5, 7.5, 12.0]
+    eng.schedule(3.0, fired.append, ("pre", 3.0))
+    eng.schedule_at_batch(times, lambda t: fired.append(("batch", t)),
+                          append_time=True)
+    eng.schedule(3.0, fired.append, ("post", 3.0))
+    eng.run()
+    assert fired == [("pre", 3.0), ("batch", 3.0), ("batch", 3.0),
+                     ("post", 3.0), ("batch", 7.5), ("batch", 7.5),
+                     ("batch", 12.0)]
+
+
+def test_schedule_at_batch_past_time_rejected(eng):
+    eng.schedule(2.0, lambda: None)
+    eng.run()
+    with pytest.raises(ValueError):
+        eng.schedule_at_batch([1.0], lambda t: None, append_time=True)
+
+
+def test_max_events_bound(eng):
     fired = []
     for i in range(5):
         eng.schedule(float(i), fired.append, i)
@@ -101,9 +171,40 @@ def test_max_events_bound():
     assert fired == [0, 1]
 
 
-def test_events_processed_counter():
-    eng = Engine()
+def test_events_processed_counter(eng):
     for i in range(7):
         eng.schedule(float(i), lambda: None)
     eng.run()
     assert eng.events_processed == 7
+
+
+def test_backends_agree_on_adversarial_schedule():
+    """Cross-check the calendar queue against heapq on a schedule built
+    to stress its mechanics: far-future events (overflow heap), dense
+    same-bucket ties (width retune), reschedules below the cursor, and
+    mid-run cancellations."""
+    import numpy as np
+
+    def drive(backend):
+        rng = np.random.default_rng(1234)
+        eng = Engine(queue=backend)
+        fired = []
+        pending = []
+
+        def fire(tag):
+            fired.append((round(eng.now, 9), tag))
+            # Occasionally cancel a pending event and schedule new ones
+            # (some near, some far beyond the calendar window).
+            if pending and tag % 3 == 0:
+                pending.pop(len(pending) // 2).cancel()
+            if tag < 400:
+                delay = float(rng.choice([0.0, 0.25, 1.0, 900_000.0]))
+                pending.append(eng.schedule(delay, fire, tag + 400))
+
+        for i in range(400):
+            t = float(rng.integers(0, 50)) * 0.5   # heavy ties
+            pending.append(eng.schedule_at(t, fire, i))
+        eng.run()
+        return fired, eng.now, eng.events_processed
+
+    assert drive("heapq") == drive("calendar")
