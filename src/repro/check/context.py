@@ -119,8 +119,9 @@ class NullCheckContext:
         """An external request was rejected (error response sent)."""
 
     # --- cluster roots
-    def root_offered(self) -> None:
-        """One client arrival was scheduled."""
+    def root_offered(self, n: int = 1) -> None:
+        """``n`` client arrivals were scheduled (bulk increment: the
+        arrival paths schedule whole vectorized batches at once)."""
 
     def root_done(self, kind: str) -> None:
         """A root request was answered (completed/rejected/failed)."""
@@ -567,8 +568,8 @@ class CheckContext(NullCheckContext):
 
     # ---------------------------------------------------------- root ledger
 
-    def root_offered(self) -> None:
-        self._roots_offered += 1
+    def root_offered(self, n: int = 1) -> None:
+        self._roots_offered += n
 
     def root_done(self, kind: str) -> None:
         self.stats.checks += 1

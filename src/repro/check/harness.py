@@ -27,8 +27,13 @@ from repro.check.context import CheckContext
 #: Fuzz axes: kept deliberately small-scale so one trial runs in well
 #: under a second and a CI budget of a few dozen trials stays cheap.
 CONFIG_NAMES = ("umanycore", "scaleout", "serverclass")
-APP_NAMES = ("Text", "User", "HomeT", "exponential")
+APP_NAMES = ("Text", "User", "HomeT", "exponential",
+             "MCompose", "MPage", "HSearch", "HReserve")
 LOADS = (4_000.0, 8_000.0, 16_000.0)
+#: Arrival-process axis — every named rate profile plus trace replay
+#: ("replay" resolves to a small Alibaba-marginal trace per trial).
+ARRIVALS = ("poisson", "bursty", "diurnal", "mmpp", "flash", "ramp",
+            "replay")
 DURATIONS_S = (0.002, 0.004)
 FAULT_RATES = (200.0, 1_000.0)
 #: Scheduling-policy axes (repro.sched); "off" on the steal axis means
@@ -128,11 +133,11 @@ def _trial_config(trial: Trial):
 
 
 def _app(name: str):
-    from repro.workloads.deathstar import SOCIAL_NETWORK_APPS
+    from repro.workloads.deathstar import DEATHSTAR_APPS
     from repro.workloads.synthetic import synthetic_app
 
-    if name in SOCIAL_NETWORK_APPS:
-        return SOCIAL_NETWORK_APPS[name]
+    if name in DEATHSTAR_APPS:
+        return DEATHSTAR_APPS[name]
     return synthetic_app(name)
 
 
@@ -146,6 +151,15 @@ def run_trial(trial: Trial) -> CheckContext:
     from repro.systems.cluster import ClusterSimulation
     from repro.telemetry import Tracer
 
+    arrivals = trial.arrivals
+    if arrivals == "replay":
+        from repro.workloads.replay import sample_alibaba_trace
+
+        # Aggregate trace sized to the trial: cluster-wide mean rate,
+        # deterministic in the trial seed.
+        arrivals = sample_alibaba_trace(
+            trial.duration_s, trial.rps * trial.n_servers,
+            seed=trial.seed, window_s=trial.duration_s / 8)
     check = CheckContext(strict=False)
     tracer = Tracer() if trial.trace else None
     dc = None
@@ -167,7 +181,7 @@ def run_trial(trial: Trial) -> CheckContext:
     sim = ClusterSimulation(
         _trial_config(trial), _app(trial.app), rps_per_server=trial.rps,
         n_servers=trial.n_servers, duration_s=trial.duration_s,
-        seed=trial.seed, arrivals=trial.arrivals, tracer=tracer,
+        seed=trial.seed, arrivals=arrivals, tracer=tracer,
         check=check, dc=dc, hybrid=hybrid)
     if trial.fault_rate > 0:
         from repro.faults import FaultSchedule, fault_inventory
@@ -191,7 +205,7 @@ def draw_trial(rng: np.random.Generator,
         rps=float(rng.choice(LOADS)),
         n_servers=int(rng.choice((1, 2))),
         duration_s=float(rng.choice(DURATIONS_S)),
-        arrivals=str(rng.choice(("poisson", "bursty"))),
+        arrivals=str(rng.choice(ARRIVALS)),
         fault_rate=float(rng.choice(FAULT_RATES))
         if float(rng.random()) < fault_fraction else 0.0,
         trace=bool(rng.random() < 0.5),

@@ -27,7 +27,8 @@ from typing import List, Optional
 
 from repro.systems.configs import SCALEOUT, SERVERCLASS, SERVERCLASS_128, \
     UMANYCORE
-from repro.workloads.deathstar import SOCIAL_NETWORK_APPS
+from repro.workloads.arrival import ARRIVAL_NAMES
+from repro.workloads.deathstar import DEATHSTAR_APPS
 from repro.workloads.synthetic import SYNTHETIC_DISTRIBUTIONS, synthetic_app
 
 SYSTEMS = {
@@ -40,18 +41,33 @@ SYSTEMS = {
 EXPERIMENTS = [
     "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
     "fig09", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-    "figD", "figF", "figH", "figS", "sec68", "power", "all",
+    "figD", "figF", "figH", "figS", "figW", "sec68", "power", "all",
 ]
 
 
 def _resolve_app(name: str):
-    if name in SOCIAL_NETWORK_APPS:
-        return SOCIAL_NETWORK_APPS[name]
+    if name in DEATHSTAR_APPS:
+        return DEATHSTAR_APPS[name]
     if name in SYNTHETIC_DISTRIBUTIONS:
         return synthetic_app(name)
     raise SystemExit(f"unknown app {name!r}; pick one of "
-                     f"{sorted(SOCIAL_NETWORK_APPS)} or "
+                     f"{sorted(DEATHSTAR_APPS)} or "
                      f"{list(SYNTHETIC_DISTRIBUTIONS)}")
+
+
+def _resolve_arrivals(args):
+    """Arrival process from the flags: ``--trace-in`` (a CSV/JSON path,
+    or ``sample`` for the bundled Alibaba-marginal trace) wins over the
+    named ``--arrivals`` profile."""
+    trace_in = getattr(args, "trace_in", None)
+    if trace_in:
+        from repro.workloads.replay import resolve_trace
+
+        try:
+            return resolve_trace(trace_in)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"--trace-in: {exc}")
+    return args.arrivals
 
 
 def _fault_setup(args, sim):
@@ -180,7 +196,7 @@ def _run_simulation(args, tracer=None, metrics_interval_ns=None):
         check = CheckContext(strict=True)
     sim = ClusterSimulation(config, app, rps_per_server=args.rps,
                             n_servers=args.servers, duration_s=args.duration,
-                            seed=args.seed, arrivals=args.arrivals,
+                            seed=args.seed, arrivals=_resolve_arrivals(args),
                             tracer=tracer,
                             metrics_interval_ns=metrics_interval_ns,
                             check=check, dc=_dc_setup(args),
@@ -389,7 +405,7 @@ def cmd_sweep(args) -> None:
         loads=tuple(float(x) for x in args.loads.split(",")),
         seeds=tuple(int(x) for x in args.seeds.split(",")),
         n_servers=args.servers, duration_s=args.duration,
-        arrivals=args.arrivals, dc=_dc_setup(args),
+        arrivals=_resolve_arrivals(args), dc=_dc_setup(args),
         hybrid=_hybrid_setup(args))
     points = spec.points()
     cache = None if args.no_cache or args.check else ResultCache()
@@ -438,6 +454,7 @@ def cmd_experiment(args) -> None:
         "fig19": "fig19_sensitivity", "fig20": "fig20_synthetic",
         "figD": "figD_datacenter", "figF": "figF_faults",
         "figH": "figH_hybrid", "figS": "figS_policies",
+        "figW": "figW_scenarios",
         "sec68": "sec68_iso_area", "power": "power_area",
         "all": "run_all",
     }
@@ -519,10 +536,13 @@ def cmd_list(args) -> None:
         print(f"  {key:15s} {cfg.n_cores} cores, {cfg.topology}, "
               f"{cfg.cs.name} scheduling")
     print("\napps:")
-    for name, app in SOCIAL_NETWORK_APPS.items():
+    for name, app in DEATHSTAR_APPS.items():
         print(f"  {name:10s} root={app.root}, "
               f"{app.mean_rpc_count():.0f} RPCs/request")
     print(f"  + synthetic: {', '.join(SYNTHETIC_DISTRIBUTIONS)}")
+    print("\narrival processes (repro.workloads.arrival):")
+    print(f"  --arrivals : {', '.join(ARRIVAL_NAMES)}")
+    print("  --trace-in FILE|sample  (CSV/JSON trace replay)")
     from repro.sched import DISPATCH_NAMES, POLICY_NAMES, STEAL_NAMES
 
     print("\nscheduling policies (repro.sched):")
@@ -554,8 +574,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--duration", type=float, default=0.03,
                        help="simulated seconds")
         p.add_argument("--seed", type=int, default=1)
-        p.add_argument("--arrivals", choices=("poisson", "bursty"),
-                       default="poisson")
+        p.add_argument("--arrivals", choices=ARRIVAL_NAMES,
+                       default="poisson",
+                       help="arrival process (rate profile; default "
+                            "poisson)")
+        p.add_argument("--trace-in", dest="trace_in", metavar="FILE",
+                       default=None,
+                       help="replay arrivals from a CSV/JSON trace "
+                            "('sample' = the bundled Alibaba-marginal "
+                            "trace); overrides --arrivals")
         p.add_argument("--json", action="store_true",
                        help="print the run summary as JSON")
         p.add_argument("--check", action="store_true",
@@ -733,8 +760,15 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--servers", type=int, default=2)
     swp.add_argument("--duration", type=float, default=0.03,
                      help="simulated seconds per point")
-    swp.add_argument("--arrivals", choices=("poisson", "bursty"),
-                     default="poisson")
+    swp.add_argument("--arrivals", choices=ARRIVAL_NAMES,
+                     default="poisson",
+                     help="arrival process (rate profile; default "
+                          "poisson)")
+    swp.add_argument("--trace-in", dest="trace_in", metavar="FILE",
+                     default=None,
+                     help="replay arrivals from a CSV/JSON trace "
+                          "('sample' = the bundled Alibaba-marginal "
+                          "trace); overrides --arrivals")
     swp.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="worker processes (default 1; results are "
                           "identical for any N)")

@@ -40,6 +40,7 @@ from repro.experiments import (
     figD_datacenter,
     figH_hybrid,
     figS_policies,
+    figW_scenarios,
     power_area,
     sec68_iso_area,
 )
@@ -68,6 +69,7 @@ SECTIONS = [
     ("Figure S (policies)", figS_policies.main),
     ("Figure D (datacenter)", figD_datacenter.main),
     ("Figure H (hybrid)", figH_hybrid.main),
+    ("Figure W (scenarios)", figW_scenarios.main),
 ]
 
 
@@ -87,7 +89,7 @@ def _run_section(title, runner, settings) -> None:
     elif runner in (fig15_breakdown.main, fig19_sensitivity.main,
                     fig20_synthetic.main, sec68_iso_area.main,
                     figS_policies.main, figD_datacenter.main,
-                    figH_hybrid.main):
+                    figH_hybrid.main, figW_scenarios.main):
         runner(settings=settings)
     else:
         runner()

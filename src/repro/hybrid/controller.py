@@ -263,6 +263,28 @@ class HybridController:
 
     # --------------------------------------------------------------- guard
 
+    def _guard_band(self, ref: float) -> float:
+        """Out-of-band threshold around the committed reference rate.
+
+        The base band covers Poisson counting noise and genuine drift
+        tolerance.  A *stationary-but-bursty* arrival profile (lognormal
+        windows, MMPP phases) adds window-to-window rate variance that
+        is not drift — the profile reports it via ``count_cv`` over the
+        trailing-average span, and the band widens to 3 sigma of that
+        inherent variability.  Non-stationary profiles (diurnal, flash
+        crowd, piecewise, trace replay) return None and keep the band
+        sharp: a flash-crowd ramp must abort the fast path."""
+        band = self.cfg.guard_factor * self.cfg.tol * max(ref, 1e-9)
+        profile = getattr(self.sim, "rate_profile", None)
+        if profile is None:
+            return band
+        span_s = max(1, len(self._rate_hist)) * self.window_ns * 1e-9
+        cv = profile.count_cv(span_s) \
+            if hasattr(profile, "count_cv") else None
+        if cv:
+            band = max(band, 3.0 * cv * max(ref, 1e-9))
+        return band
+
     def _guard(self, rate: float) -> None:
         """Cheap drift predicate on every window while armed.
 
@@ -271,7 +293,7 @@ class HybridController:
         single Poisson-noisy window does not, and an abort is expensive
         (the run stays detailed until the detector re-converges)."""
         ref = self._committed_rate
-        band = self.cfg.guard_factor * self.cfg.tol * max(ref, 1e-9)
+        band = self._guard_band(ref)
         if abs(rate - ref) > band:
             self._guard_strikes += 1
             if self._guard_strikes >= 2:

@@ -76,6 +76,40 @@ class LatencyRecorder:
         lats = np.asarray(self._latencies)
         return lats[times >= after_ns]
 
+    def samples(self) -> "np.ndarray":
+        """All ``(completion_ns, latency_ns)`` pairs, shape ``(n, 2)``
+        (windowed analyses — e.g. p99-over-time — slice these)."""
+        return np.column_stack([self._times, self._latencies]) \
+            if self._latencies else np.empty((0, 2))
+
+    def windowed(self, window_ns: float, horizon_ns: float) -> list:
+        """Per-window :class:`LatencySummary` list over ``[0, horizon)``.
+
+        Windows bucket by *completion* time with boundaries at
+        ``i * window_ns`` (index-computed, never float-accumulated);
+        empty windows yield the zero sentinel.
+        """
+        if window_ns <= 0 or horizon_ns <= 0:
+            raise ValueError("window and horizon must be positive")
+        n_windows = int(np.ceil(horizon_ns / window_ns))
+        times = np.asarray(self._times)
+        lats = np.asarray(self._latencies)
+        out = []
+        for i in range(n_windows):
+            left, right = i * window_ns, min((i + 1) * window_ns,
+                                             horizon_ns)
+            sel = lats[(times >= left) & (times < right)]
+            if len(sel) == 0:
+                out.append(LatencySummary.empty())
+                continue
+            out.append(LatencySummary(
+                count=len(sel), mean=float(np.mean(sel)),
+                p50=float(np.percentile(sel, 50)),
+                p99=float(np.percentile(sel, 99)),
+                p999=float(np.percentile(sel, 99.9)),
+                maximum=float(np.max(sel))))
+        return out
+
     def summary(self, after_ns: float = 0.0) -> LatencySummary:
         """Summary of the post-cutoff samples; the
         :meth:`LatencySummary.empty` sentinel when there are none."""

@@ -34,7 +34,9 @@ class SweepPoint:
     duration_s: float = 0.03
     seed: int = 1
     warmup_fraction: float = 0.25
-    arrivals: str = "poisson"
+    #: Arrival process: a registry name, a RateProfile instance, or a
+    #: TraceReplay (all fingerprint by value into the cache key).
+    arrivals: object = "poisson"
     faults: Optional[object] = None         # FaultSchedule or None
     resilience: Optional[object] = None     # ResilienceConfig or None
     dc: Optional[object] = None             # repro.dc.DcConfig or None
@@ -69,7 +71,7 @@ class SweepPoint:
             "duration_s": self.duration_s,
             "seed": self.seed,
             "warmup_fraction": self.warmup_fraction,
-            "arrivals": self.arrivals,
+            "arrivals": fingerprint(self.arrivals),
             "faults": fingerprint(self.faults),
             "resilience": fingerprint(self.resilience),
             "dc": fingerprint(self.dc),
@@ -120,7 +122,7 @@ class SweepSpec:
     n_servers: int = 2
     duration_s: float = 0.03
     warmup_fraction: float = 0.25
-    arrivals: str = "poisson"
+    arrivals: object = "poisson"
     dc: Optional[object] = None             # repro.dc.DcConfig or None
     hybrid: Optional[object] = None         # repro.hybrid.HybridConfig
 

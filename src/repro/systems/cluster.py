@@ -27,7 +27,7 @@ from repro.sim.rng import RngStreams
 from repro.systems.configs import SystemConfig
 from repro.systems.server import Server
 from repro.telemetry import MetricsRegistry, NullTracer, aggregate_breakdown
-from repro.workloads.arrival import arrival_times, bursty_arrival_times
+from repro.workloads.arrival import get_profile
 from repro.workloads.spec import AppSpec
 
 
@@ -143,7 +143,7 @@ class ClusterSimulation:
                  duration_s: float = 0.02, seed: int = 0,
                  warmup_fraction: float = 0.25,
                  fabric_config: Optional[FabricConfig] = None,
-                 arrivals: str = "poisson",
+                 arrivals="poisson",
                  tracer: Optional[NullTracer] = None,
                  metrics_interval_ns: Optional[float] = None,
                  faults: Optional[FaultSchedule] = None,
@@ -155,8 +155,10 @@ class ClusterSimulation:
             raise ValueError("n_servers must be >= 1")
         if not 0 <= warmup_fraction < 1:
             raise ValueError("warmup_fraction must be in [0, 1)")
-        if arrivals not in ("poisson", "bursty"):
-            raise ValueError(f"unknown arrival process {arrivals!r}")
+        #: Resolved arrival generator: a RateProfile (named profiles and
+        #: instances) or a TraceReplay; ``self.arrivals`` keeps the raw
+        #: argument for reporting.
+        self.rate_profile = get_profile(arrivals)
         self.arrivals = arrivals
         self.config = config
         self.app = app
@@ -282,8 +284,7 @@ class ClusterSimulation:
                       lambda s=s: s.network.queued_messages())
 
     def _schedule_arrivals(self) -> None:
-        generate = arrival_times if self.arrivals == "poisson" \
-            else bursty_arrival_times
+        profile = self.rate_profile
         if self.lb is not None:
             # One shared arrival process for the whole cluster, routed
             # per-request by the front-end LB.  Reuses the "arrivals0"
@@ -291,14 +292,30 @@ class ClusterSimulation:
             # replays the single-server arrival sequence exactly.
             rng = self.streams.stream("arrivals0")
             rate = self.rps_per_server * self.n_servers
-            times = generate(rate, self.duration_s, rng).tolist()
+            times = profile.generate(rate, self.duration_s, rng).tolist()
             self.offered += len(times)
             if self.check.enabled:
-                for __ in times:
-                    self.check.root_offered()
+                self.check.root_offered(len(times))
             if times:
                 self.engine.schedule_at_batch(times, self._route,
                                               append_time=True)
+            return
+        if getattr(profile, "is_replay", False):
+            # A replayed trace records *cluster-wide* arrivals; without
+            # an LB, deal round-robin slices per server (``times[i::n]``
+            # stays sorted, as schedule_at_batch requires) — the spread
+            # an L4 balancer would have produced.
+            rate = self.rps_per_server * self.n_servers
+            rng = self.streams.stream("arrivals0")
+            all_times = profile.generate(rate, self.duration_s, rng)
+            for i, server in enumerate(self.servers):
+                times = all_times[i::self.n_servers].tolist()
+                self.offered += len(times)
+                if self.check.enabled:
+                    self.check.root_offered(len(times))
+                if times:
+                    self.engine.schedule_at_batch(times, self._issue, server,
+                                                  append_time=True)
             return
         # Arrival times are bulk-drawn (vectorized) per server from its
         # dedicated ``arrivals{i}`` stream and batch-inserted; draw
@@ -306,12 +323,11 @@ class ClusterSimulation:
         # loop exactly, so schedules are byte-identical.
         for i, server in enumerate(self.servers):
             rng = self.streams.stream(f"arrivals{i}")
-            times = generate(self.rps_per_server, self.duration_s,
-                             rng).tolist()
+            times = profile.generate(self.rps_per_server, self.duration_s,
+                                     rng).tolist()
             self.offered += len(times)
             if self.check.enabled:
-                for __ in times:
-                    self.check.root_offered()
+                self.check.root_offered(len(times))
             if times:
                 self.engine.schedule_at_batch(times, self._issue, server,
                                               append_time=True)
@@ -493,7 +509,7 @@ def simulate(config: SystemConfig, app: AppSpec, rps_per_server: float,
              n_servers: int = 4, duration_s: float = 0.02, seed: int = 0,
              warmup_fraction: float = 0.25,
              fabric_config: Optional[FabricConfig] = None,
-             arrivals: str = "poisson",
+             arrivals="poisson",
              tracer: Optional[NullTracer] = None,
              metrics_interval_ns: Optional[float] = None,
              faults: Optional[FaultSchedule] = None,

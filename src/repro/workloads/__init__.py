@@ -1,8 +1,16 @@
 """Workload generators: service graphs, arrivals, and trace statistics."""
 
 from repro.workloads.alibaba import AlibabaTraceGenerator
-from repro.workloads.arrival import PoissonArrivals, arrival_times
-from repro.workloads.deathstar import SOCIAL_NETWORK_APPS, social_network_app
+from repro.workloads.arrival import (ARRIVAL_NAMES, PROFILES, BurstyProfile,
+                                     ConstantProfile, DiurnalProfile,
+                                     FlashCrowdProfile, MmppProfile,
+                                     PiecewiseProfile, PoissonArrivals,
+                                     RateProfile, arrival_times,
+                                     bursty_arrival_times, get_profile)
+from repro.workloads.deathstar import (DEATHSTAR_APPS, SOCIAL_NETWORK_APPS,
+                                       deathstar_app, social_network_app)
+from repro.workloads.replay import (TraceReplay, load_trace, resolve_trace,
+                                    sample_alibaba_trace, save_trace)
 from repro.workloads.spec import STORAGE, AppSpec, CallSpec, ServiceSpec
 from repro.workloads.synthetic import SYNTHETIC_DISTRIBUTIONS, synthetic_app
 
@@ -13,8 +21,26 @@ __all__ = [
     "STORAGE",
     "PoissonArrivals",
     "arrival_times",
+    "bursty_arrival_times",
+    "RateProfile",
+    "ConstantProfile",
+    "BurstyProfile",
+    "DiurnalProfile",
+    "MmppProfile",
+    "FlashCrowdProfile",
+    "PiecewiseProfile",
+    "PROFILES",
+    "ARRIVAL_NAMES",
+    "get_profile",
+    "TraceReplay",
+    "load_trace",
+    "save_trace",
+    "sample_alibaba_trace",
+    "resolve_trace",
     "SOCIAL_NETWORK_APPS",
     "social_network_app",
+    "DEATHSTAR_APPS",
+    "deathstar_app",
     "synthetic_app",
     "SYNTHETIC_DISTRIBUTIONS",
     "AlibabaTraceGenerator",
